@@ -1,0 +1,51 @@
+// Ablation (paper Sec. III): line-implicit vs point-implicit smoothing on
+// a stretched viscous mesh, and the effect of wall spacing (stiffness) on
+// each. The line-implicit scheme's convergence should be insensitive to
+// the degree of mesh stretching; the point scheme degrades.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace columbia;
+
+int main() {
+  bench::banner("Ablation — line-implicit vs point-implicit smoothing",
+                "convergence after 40 W-cycles vs wall spacing");
+
+  euler::FlowConditions fc;
+  fc.mach = 0.75;
+  fc.reynolds = 3e6;
+
+  Table t({"wall spacing", "anisotropy", "point ratio", "line ratio",
+           "line advantage"});
+  for (real_t spacing : {1e-2, 1e-3, 1e-4}) {
+    mesh::WingMeshSpec spec;
+    spec.n_wrap = 32;
+    spec.n_span = 4;
+    spec.n_normal = 16;
+    spec.wall_spacing = spacing;
+    const auto m = mesh::make_wing_mesh(spec);
+    const auto dm = mesh::compute_dual_metrics(m);
+
+    real_t ratio[2];
+    for (int k = 0; k < 2; ++k) {
+      nsu3d::Nsu3dOptions opt;
+      opt.mg_levels = 3;
+      opt.smoother = k == 0 ? nsu3d::SmootherKind::PointImplicit
+                            : nsu3d::SmootherKind::LineImplicit;
+      nsu3d::Nsu3dSolver s(m, fc, opt);
+      const auto h = s.solve(40, 10);
+      ratio[k] = h.back() / h.front();
+    }
+    char aniso[32];
+    std::snprintf(aniso, sizeof(aniso), "%.1e", dm.max_anisotropy(m));
+    t.add_row({Table::num(spacing, 5), aniso, Table::num(ratio[0], 6),
+               Table::num(ratio[1], 6), Table::num(ratio[0] / ratio[1], 1)});
+  }
+  t.print();
+
+  std::printf(
+      "\npaper shape check: the line-implicit advantage grows with mesh\n"
+      "stretching; line-implicit convergence stays nearly flat.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 14(a): NSU3D multigrid convergence with 4, 5 and 6 agglomerated
+// levels (W-cycle) on the wing configuration, M = 0.75, Re = 3e6.
+//
+// The paper's 72M-point case converges in ~800 W-cycles with 5-6 levels,
+// with 4 levels visibly slower and the single grid hopeless. This harness
+// runs the real solver on the in-repo wing mesh and reports the residual
+// history; the expected *shape* is: more levels converge at least as fast
+// per cycle, single grid trails far behind. A V-cycle ablation is included
+// (the paper states the W-cycle is superior and uses it exclusively).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace columbia;
+
+int main() {
+  bench::banner("Fig 14a — NSU3D multigrid convergence (real solver)",
+                "72M-pt case in the paper; scaled wing mesh here. "
+                "Residual vs W-cycle for 1/2/3/4-level multigrid + V-cycle.");
+
+  mesh::WingMeshSpec spec;
+  spec.n_wrap = 48;
+  spec.n_span = 8;
+  spec.n_normal = 20;
+  spec.wall_spacing = 1e-4;
+  const auto m = mesh::make_wing_mesh(spec);
+  std::printf("mesh: %d points, %d elements\n\n", m.num_points(),
+              m.num_elements());
+
+  euler::FlowConditions fc;
+  fc.mach = 0.75;
+  fc.alpha_deg = 0.0;
+  fc.beta_deg = 0.0;
+  fc.reynolds = 3.0e6;
+
+  const int cycles = 100;
+  struct Run {
+    const char* name;
+    int levels;
+    nsu3d::CycleType cycle;
+  };
+  const Run runs[] = {{"single grid", 1, nsu3d::CycleType::W},
+                      {"2-level W", 2, nsu3d::CycleType::W},
+                      {"3-level W", 3, nsu3d::CycleType::W},
+                      {"4-level W", 4, nsu3d::CycleType::W},
+                      {"4-level V", 4, nsu3d::CycleType::V}};
+
+  std::vector<std::vector<real_t>> histories;
+  std::vector<std::string> names;
+  for (const Run& r : runs) {
+    nsu3d::Nsu3dOptions opt;
+    opt.mg_levels = r.levels;
+    opt.cycle = r.cycle;
+    nsu3d::Nsu3dSolver solver(m, fc, opt);
+    histories.push_back(solver.solve(cycles, 8));
+    names.push_back(r.name);
+    const auto& h = histories.back();
+    std::printf("%-12s levels=%d  r0=%.3e  r%d=%.3e  drop=%.2e orders=%.2f\n",
+                r.name, solver.num_levels(), h.front(), int(h.size()) - 1,
+                h.back(), h.back() / h.front(),
+                -std::log10(h.back() / h.front()));
+  }
+
+  std::printf("\nresidual history (density residual, normalized):\n");
+  Table t([&] {
+    std::vector<std::string> hdr{"cycle"};
+    for (const auto& n : names) hdr.push_back(n);
+    return hdr;
+  }());
+  for (std::size_t c = 0; c < histories[0].size(); c += 10) {
+    std::vector<std::string> row{std::to_string(c)};
+    for (const auto& h : histories) {
+      const std::size_t k = std::min(c, h.size() - 1);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3e", h[k] / h[0]);
+      row.push_back(buf);
+    }
+    t.add_row(row);
+  }
+  t.print();
+
+  std::printf(
+      "\npaper shape check: multigrid >> single grid; W >= V; deeper\n"
+      "hierarchies converge at least as fast per cycle.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 18: same comparison as Fig. 16 for (a) four-level and (b)
+// five-level multigrid — a gradual degradation as levels are added.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace columbia;
+
+int main() {
+  bench::banner("Fig 18 — interconnects, 4- and 5-level multigrid",
+                "speedup vs CPUs");
+  const auto fx = bench::Nsu3dFixture::make(6);
+  auto lm = fx.load_model();
+
+  std::printf("\n(a) four-level multigrid:\n");
+  bench::print_interconnect_series(lm, 4);
+  std::printf("\n(b) five-level multigrid:\n");
+  bench::print_interconnect_series(lm, 5);
+
+  std::printf(
+      "\npaper shape check: monotone growth of the InfiniBand gap from\n"
+      "Fig. 17 through Fig. 16(b) as the hierarchy deepens.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 19: the second (9M-point) and third (1M-point) multigrid levels
+// run *alone*, comparing NUMAlink and InfiniBand.
+//
+// Paper finding: these coarser grids scale worse than the 72M fine grid —
+// but NUMAlink and InfiniBand degrade at SIMILAR rates. This acquits the
+// coarse-level intra-grid communication and indicts the inter-grid
+// transfers (which a single-level run does not perform) for the multigrid
+// InfiniBand collapse.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace columbia;
+
+int main() {
+  bench::banner("Fig 19 — coarse multigrid levels run alone",
+                "level 2 (9M pts) and level 3 (1M pts), NL vs IB");
+
+  const auto fx = bench::Nsu3dFixture::make(6);
+  auto lm = fx.load_model();
+
+  std::printf("\n(a) second grid alone (paper: ~9M points; scaled %.2g):\n",
+              lm.scaled_nodes(1));
+  bench::print_interconnect_series(lm, 1, /*first_level=*/1);
+
+  std::printf("\n(b) third grid alone (paper: ~1M points; scaled %.2g):\n",
+              lm.scaled_nodes(2));
+  bench::print_interconnect_series(lm, 1, /*first_level=*/2);
+
+  std::printf(
+      "\npaper shape check: both fabrics roll off together (no inter-grid\n"
+      "traffic in a single-level run), unlike the full multigrid of Fig 16b.\n");
+  return 0;
+}

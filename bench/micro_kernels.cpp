@@ -1,0 +1,142 @@
+// Google-benchmark microbenchmarks for the hot kernels of both solvers:
+// Riemann fluxes, 6x6 block solves, block-tridiagonal lines, SFC encoding,
+// graph partitioning, and RCM reordering.
+#include <benchmark/benchmark.h>
+
+#include "euler/flux.hpp"
+#include "euler/jacobian.hpp"
+#include "graph/partition.hpp"
+#include "graph/rcm.hpp"
+#include "linalg/block_tridiag.hpp"
+#include "sfc/hilbert.hpp"
+#include "sfc/morton.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace columbia;
+
+void BM_RoeFlux(benchmark::State& state) {
+  const euler::Prim l{1.0, {0.5, 0.1, -0.2}, 0.8};
+  const euler::Prim r{0.9, {0.4, 0.0, -0.1}, 0.7};
+  const geom::Vec3 n{1, 0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        euler::numerical_flux(l, r, n, euler::FluxScheme::Roe));
+  }
+}
+BENCHMARK(BM_RoeFlux);
+
+void BM_VanLeerFlux(benchmark::State& state) {
+  const euler::Prim l{1.0, {0.5, 0.1, -0.2}, 0.8};
+  const euler::Prim r{0.9, {0.4, 0.0, -0.1}, 0.7};
+  const geom::Vec3 n{0, 1, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        euler::numerical_flux(l, r, n, euler::FluxScheme::VanLeer));
+  }
+}
+BENCHMARK(BM_VanLeerFlux);
+
+void BM_FluxJacobian(benchmark::State& state) {
+  const euler::Prim w{1.0, {0.5, 0.1, -0.2}, 0.8};
+  const geom::Vec3 n{0.6, 0.8, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(euler::flux_jacobian(w, n));
+  }
+}
+BENCHMARK(BM_FluxJacobian);
+
+void BM_Block6LU(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  linalg::BlockMat<6> m;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) m(i, j) = rng.uniform(-1, 1);
+    m(i, i) += 8;
+  }
+  linalg::BlockVec<6> b;
+  for (int i = 0; i < 6; ++i) b[i] = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    linalg::BlockLU<6> lu;
+    lu.factor(m);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_Block6LU);
+
+void BM_BlockTridiagLine(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  Xoshiro256 rng(2);
+  std::vector<linalg::BlockMat<6>> lo(n), di(n), up(n);
+  std::vector<linalg::BlockVec<6>> rhs(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (int i = 0; i < 6; ++i) {
+      for (int j = 0; j < 6; ++j) {
+        di[k](i, j) = rng.uniform(-0.2, 0.2);
+        lo[k](i, j) = rng.uniform(-0.2, 0.2);
+        up[k](i, j) = rng.uniform(-0.2, 0.2);
+      }
+      di[k](i, i) += 6;
+      rhs[k][i] = rng.uniform(-1, 1);
+    }
+  }
+  for (auto _ : state) {
+    auto l = lo;
+    auto d = di;
+    auto u = up;
+    auto r = rhs;
+    benchmark::DoNotOptimize(linalg::solve_block_tridiag<6>(l, d, u, r));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_BlockTridiagLine)->Arg(16)->Arg(64);
+
+void BM_Hilbert3(benchmark::State& state) {
+  std::uint32_t x = 12345, y = 54321, z = 9999;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sfc::hilbert3(x, y, z, 21));
+    ++x;
+  }
+}
+BENCHMARK(BM_Hilbert3);
+
+void BM_Morton3(benchmark::State& state) {
+  std::uint32_t x = 12345, y = 54321, z = 9999;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sfc::morton3(x, y, z));
+    ++x;
+  }
+}
+BENCHMARK(BM_Morton3);
+
+graph::Csr make_grid(index_t n) {
+  std::vector<std::pair<index_t, index_t>> edges;
+  auto id = [&](index_t i, index_t j) { return j * n + i; };
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      if (i + 1 < n) edges.emplace_back(id(i, j), id(i + 1, j));
+      if (j + 1 < n) edges.emplace_back(id(i, j), id(i, j + 1));
+    }
+  return graph::Csr::from_edges(n * n, edges);
+}
+
+void BM_Partition16(benchmark::State& state) {
+  const graph::Csr g = make_grid(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::partition(g, 16));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * g.num_vertices());
+}
+BENCHMARK(BM_Partition16);
+
+void BM_Rcm(benchmark::State& state) {
+  const graph::Csr g = make_grid(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::reverse_cuthill_mckee(g));
+  }
+}
+BENCHMARK(BM_Rcm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Section V: space-filling-curve machinery quality numbers.
+//
+// Reproduced claims: single-pass SFC coarsening achieves ratios in excess
+// of 7 on typical adapted meshes (Fig. 11); SFC-derived partitions track
+// an idealized cubic partitioner's surface-to-volume ratio (Fig. 12, with
+// cut cells weighted 2.1); Peano-Hilbert preferred over Morton in 3D.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "geom/components.hpp"
+#include "sfc/sfc_partition.hpp"
+
+using namespace columbia;
+
+int main() {
+  bench::banner("Sec V — SFC coarsening and partition quality",
+                "coarsening ratio, Morton vs Peano-Hilbert, cut-cell weights");
+
+  // Adapted mesh around a small sphere in a large domain (the >7 regime).
+  geom::Aabb dom;
+  dom.expand({-1, -1, -1});
+  dom.expand({1, 1, 1});
+  const auto sphere = geom::make_sphere({0, 0, 0}, 0.15, 12, 24);
+  cartesian::CartMeshOptions opt;
+  opt.base_n = 64;
+  opt.max_level = 2;
+  const auto m = cartesian::build_cart_mesh(sphere, dom, opt);
+
+  std::printf("adapted mesh: %d cells, %d cut\n", m.num_cells(),
+              m.num_cut_cells());
+  Table t({"coarsening sweep", "cells", "ratio"});
+  cartesian::CartMesh cur = m;
+  for (int sweep = 1; sweep <= 3; ++sweep) {
+    const auto r = cartesian::coarsen_sfc(cur);
+    t.add_row({std::to_string(sweep), std::to_string(r.coarse.num_cells()),
+               Table::num(r.coarsening_ratio(), 2)});
+    cur = r.coarse;
+  }
+  t.print();
+  std::printf("(paper: ratios in excess of 7 on typical examples)\n\n");
+
+  // Partition surface-to-volume vs the ideal cube, Morton vs Hilbert.
+  Table q({"SFC", "parts", "mean surf/vol", "ideal cubic", "ratio"});
+  for (const auto kind :
+       {cartesian::SfcKind::PeanoHilbert, cartesian::SfcKind::Morton}) {
+    cartesian::CartMesh um = cartesian::build_uniform_mesh(dom, 32, kind);
+    for (index_t p : {6, 12, 48}) {
+      const auto part = cartesian::partition_cells(um, p);
+      const auto st = cartesian::partition_surface_stats(um, part, p);
+      q.add_row({kind == cartesian::SfcKind::PeanoHilbert ? "Peano-Hilbert"
+                                                          : "Morton",
+                 std::to_string(p), Table::num(st.mean_surface_to_volume, 3),
+                 Table::num(st.ideal_cubic, 3),
+                 Table::num(st.mean_surface_to_volume / st.ideal_cubic, 2)});
+    }
+  }
+  q.print();
+  std::printf("(paper: SFC partitions track the idealized cubic partitioner.\n"
+              " The two curves are nearly equivalent at these part counts;\n"
+              " the paper prefers Peano-Hilbert in 3D for its unit-step\n"
+              " locality, verified in tests/test_sfc.cpp)\n\n");
+
+  // Cut-cell weighting: 2.1x weights balance weighted work.
+  const auto part = cartesian::partition_cells(m, 16, 2.1);
+  std::vector<real_t> w(std::size_t(m.num_cells()));
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w[i] = m.cells[i].cut ? 2.1 : 1.0;
+  std::printf("16-way partition with cut weight 2.1: balance factor %.3f "
+              "(1.0 = perfect)\n",
+              sfc::balance_factor(part, w, 16));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Solution-adaptive refinement loop — the workflow behind the paper's
+// "adaptively refined Cartesian meshes": solve on a coarse mesh, flag the
+// cells with the strongest density jumps, refine, re-solve. Writes the
+// final surface-adjacent mesh statistics and a VTK file of the wing mesh
+// for inspection.
+#include <cstdio>
+#include <fstream>
+
+#include "cart3d/solver.hpp"
+#include "cartesian/adaptation.hpp"
+#include "geom/components.hpp"
+#include "mesh/builders.hpp"
+#include "mesh/dual_metrics.hpp"
+#include "mesh/io.hpp"
+
+using namespace columbia;
+
+int main() {
+  // Transonic flow over a sphere: a bow of compression the sensor finds.
+  const auto sphere = geom::make_sphere({0, 0, 0}, 0.4, 20, 40);
+  geom::Aabb dom;
+  dom.expand({-1.6, -1.6, -1.6});
+  dom.expand({1.6, 1.6, 1.6});
+  cartesian::CartMeshOptions opt;
+  opt.base_n = 8;
+  opt.max_level = 1;
+  cartesian::CartMesh mesh = cartesian::build_cart_mesh(sphere, dom, opt);
+
+  euler::FlowConditions fc;
+  fc.mach = 0.7;
+  cart3d::SolverOptions sopt;
+  sopt.mg_levels = 2;
+  sopt.cfl = 1.0;
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    cart3d::Cart3DSolver solver(mesh, fc, sopt);
+    const auto hist = solver.solve(60, 2.5);
+    const auto forces = solver.integrate_forces();
+    std::printf("adapt cycle %d: %6d cells (%5d cut), residual drop %.1e, "
+                "CD=%.4f\n",
+                cycle, mesh.num_cells(), mesh.num_cut_cells(),
+                hist.back() / hist.front(), forces.cd);
+    if (cycle == 2) break;
+    const auto flags =
+        cartesian::flag_by_density_jump(mesh, solver.solution(), 0.12);
+    mesh = cartesian::refine_cells(mesh, &sphere, flags);
+  }
+
+  // Also demonstrate unstructured-mesh I/O: write the RANS wing mesh with
+  // its wall-distance field to VTK for ParaView.
+  mesh::WingMeshSpec wspec;
+  wspec.n_wrap = 32;
+  wspec.n_span = 4;
+  wspec.n_normal = 12;
+  const auto wing = mesh::make_wing_mesh(wspec);
+  const auto dm = mesh::compute_dual_metrics(wing);
+  std::ofstream vtk("wing_mesh.vtk");
+  const mesh::PointField fields[] = {{"wall_distance", dm.wall_distance}};
+  mesh::write_vtk(vtk, wing, fields);
+  std::printf("\nwrote wing_mesh.vtk (%d points, wall-distance field)\n",
+              wing.num_points());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// High-fidelity RANS analysis of a transport wing with the NSU3D-style
+// solver — the paper's workhorse (Secs. III, VI): hybrid viscous mesh with
+// geometrically stretched wall layers, Spalart-Allmaras turbulence model,
+// line-implicit agglomeration multigrid with W-cycles.
+#include <cstdio>
+
+#include "mesh/builders.hpp"
+#include "nsu3d/solver.hpp"
+
+using namespace columbia;
+
+int main() {
+  // Hybrid viscous wing mesh: hexahedral stretched wall layers under a
+  // prismatic outer block (the DPW-style case of the paper's Fig. 13).
+  mesh::WingMeshSpec spec;
+  spec.n_wrap = 48;
+  spec.n_span = 8;
+  spec.n_normal = 20;
+  spec.wall_spacing = 1e-4;  // ~Re-appropriate first layer
+  const mesh::UnstructuredMesh wing = mesh::make_wing_mesh(spec);
+  const mesh::MeshStats st = mesh::compute_stats(wing);
+  std::printf("mesh: %d points, %d edges, hex=%d prism=%d, max aspect %.1e\n",
+              st.points, st.edges,
+              st.elements_by_type[std::size_t(mesh::ElementType::Hex)],
+              st.elements_by_type[std::size_t(mesh::ElementType::Prism)],
+              st.max_aspect_ratio);
+
+  // The paper's benchmark conditions: M = 0.75, Re = 3e6 (DPW wing/body).
+  euler::FlowConditions conditions;
+  conditions.mach = 0.75;
+  conditions.alpha_deg = 0.0;
+  conditions.reynolds = 3.0e6;
+
+  nsu3d::Nsu3dOptions opt;
+  opt.mg_levels = 4;
+  opt.cycle = nsu3d::CycleType::W;  // "found to produce superior rates"
+  opt.smoother = nsu3d::SmootherKind::LineImplicit;
+  nsu3d::Nsu3dSolver solver(wing, conditions, opt);
+
+  std::printf("multigrid hierarchy:");
+  for (int l = 0; l < solver.num_levels(); ++l)
+    std::printf(" %d", solver.level(l).num_nodes);
+  std::printf(" nodes; implicit lines up to %d points\n",
+              solver.level(0).lines.longest());
+
+  const auto history = solver.solve(120, 4);
+  std::printf("RANS convergence: %.3e -> %.3e in %zu W-cycles "
+              "(%.2f orders)\n",
+              history.front(), history.back(), history.size() - 1,
+              -std::log10(history.back() / history.front()));
+
+  const nsu3d::Forces f = solver.integrate_forces();
+  std::printf("wing pressure forces: CL=%.4f CD=%.4f\n", f.cl, f.cd);
+  return 0;
+}

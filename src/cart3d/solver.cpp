@@ -1,0 +1,437 @@
+#include "cart3d/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace columbia::cart3d {
+
+using cartesian::CartFace;
+using cartesian::CartMesh;
+using euler::Cons;
+using euler::Prim;
+using geom::Vec3;
+
+namespace {
+
+/// Unit outward normal of a boundary face (axis is encoded as
+/// axis or -(axis+1) for the negative direction).
+Vec3 boundary_normal(const CartFace& f) {
+  const int a = f.axis >= 0 ? f.axis : -(f.axis + 1);
+  const real_t sign = f.axis >= 0 ? 1.0 : -1.0;
+  Vec3 n{};
+  if (a == 0) n.x = sign;
+  if (a == 1) n.y = sign;
+  if (a == 2) n.z = sign;
+  return n;
+}
+
+Vec3 axis_normal(int axis) {
+  Vec3 n{};
+  if (axis == 0) n.x = 1;
+  if (axis == 1) n.y = 1;
+  if (axis == 2) n.z = 1;
+  return n;
+}
+
+/// Five primitive scalars as an array for reconstruction loops.
+std::array<real_t, 5> prim_array(const Prim& w) {
+  return {w.rho, w.vel.x, w.vel.y, w.vel.z, w.p};
+}
+
+Prim prim_from_array(const std::array<real_t, 5>& q) {
+  return {q[0], {q[1], q[2], q[3]}, q[4]};
+}
+
+}  // namespace
+
+Cart3DSolver::Cart3DSolver(const CartMesh& mesh,
+                           const euler::FlowConditions& conditions,
+                           const SolverOptions& options)
+    : opt_(options), cond_(conditions), freestream_(conditions.freestream()) {
+  COLUMBIA_REQUIRE(opt_.mg_levels >= 1);
+  hierarchy_ = cartesian::build_hierarchy(mesh, opt_.mg_levels, opt_.sfc);
+  const std::size_t nl = hierarchy_.levels.size();
+  state_.resize(nl);
+  forcing_.resize(nl);
+  residual_.resize(nl);
+  restricted_snapshot_.resize(nl);
+  const Cons uinf = euler::to_conservative(freestream_);
+  for (std::size_t l = 0; l < nl; ++l) {
+    const std::size_t n = hierarchy_.levels[l].cells.size();
+    state_[l].assign(n, uinf);
+    forcing_[l].assign(n, Cons{});
+    residual_[l].assign(n, Cons{});
+  }
+}
+
+void Cart3DSolver::compute_residual(int level, const std::vector<Cons>& u,
+                                    std::vector<Cons>& res,
+                                    bool second_order) {
+  const CartMesh& m = hierarchy_.levels[std::size_t(level)];
+  const std::size_t n = m.cells.size();
+  res.assign(n, Cons{});
+
+  // Primitive cache.
+  std::vector<Prim> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = euler::to_primitive(u[i]);
+
+  // Gradients + Barth-Jespersen limiter for linear reconstruction.
+  std::vector<std::array<Vec3, 5>> grad;
+  std::vector<std::array<real_t, 5>> phi;
+  if (second_order) {
+    grad.assign(n, {});
+    phi.assign(n, {1, 1, 1, 1, 1});
+
+    // Least-squares gradients over face neighbors.
+    std::vector<std::array<real_t, 6>> gram(
+        n, std::array<real_t, 6>{0, 0, 0, 0, 0, 0});
+    std::vector<std::array<Vec3, 5>> rhs(n, std::array<Vec3, 5>{});
+    auto accumulate = [&](index_t a, index_t b) {
+      const Vec3 d = m.cell_center(m.cells[std::size_t(b)]) -
+                     m.cell_center(m.cells[std::size_t(a)]);
+      auto& g = gram[std::size_t(a)];
+      g[0] += d.x * d.x;
+      g[1] += d.x * d.y;
+      g[2] += d.x * d.z;
+      g[3] += d.y * d.y;
+      g[4] += d.y * d.z;
+      g[5] += d.z * d.z;
+      const auto qa = prim_array(w[std::size_t(a)]);
+      const auto qb = prim_array(w[std::size_t(b)]);
+      for (int c = 0; c < 5; ++c)
+        rhs[std::size_t(a)][std::size_t(c)] +=
+            (qb[std::size_t(c)] - qa[std::size_t(c)]) * d;
+    };
+    for (const CartFace& f : m.faces) {
+      accumulate(f.left, f.right);
+      accumulate(f.right, f.left);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      // Solve the 3x3 SPD system via explicit inverse (adjugate).
+      const auto& g = gram[i];
+      const real_t a = g[0], b = g[1], c = g[2], d = g[3], e = g[4],
+                   f3 = g[5];
+      const real_t det = a * (d * f3 - e * e) - b * (b * f3 - e * c) +
+                         c * (b * e - d * c);
+      if (std::abs(det) < 1e-30) continue;  // isolated cell: keep zero grad
+      const real_t inv = 1.0 / det;
+      const real_t i00 = (d * f3 - e * e) * inv;
+      const real_t i01 = (c * e - b * f3) * inv;
+      const real_t i02 = (b * e - c * d) * inv;
+      const real_t i11 = (a * f3 - c * c) * inv;
+      const real_t i12 = (b * c - a * e) * inv;
+      const real_t i22 = (a * d - b * b) * inv;
+      for (int q = 0; q < 5; ++q) {
+        const Vec3 r = rhs[i][std::size_t(q)];
+        grad[i][std::size_t(q)] = {i00 * r.x + i01 * r.y + i02 * r.z,
+                                   i01 * r.x + i11 * r.y + i12 * r.z,
+                                   i02 * r.x + i12 * r.y + i22 * r.z};
+      }
+    }
+
+    // Venkatakrishnan limiter: a smooth variant of Barth-Jespersen whose
+    // differentiability avoids the limit cycles that stall steady-state
+    // convergence (the hard min/max limiter plateaus 1-2 orders up).
+    std::vector<std::array<real_t, 5>> qmin(n), qmax(n);
+    for (std::size_t i = 0; i < n; ++i) qmin[i] = qmax[i] = prim_array(w[i]);
+    auto minmax = [&](index_t a, index_t b) {
+      const auto qb = prim_array(w[std::size_t(b)]);
+      for (int c = 0; c < 5; ++c) {
+        qmin[std::size_t(a)][std::size_t(c)] =
+            std::min(qmin[std::size_t(a)][std::size_t(c)], qb[std::size_t(c)]);
+        qmax[std::size_t(a)][std::size_t(c)] =
+            std::max(qmax[std::size_t(a)][std::size_t(c)], qb[std::size_t(c)]);
+      }
+    };
+    for (const CartFace& f : m.faces) {
+      minmax(f.left, f.right);
+      minmax(f.right, f.left);
+    }
+    auto venkat = [](real_t dplus, real_t dq, real_t eps2) {
+      // phi = (d+^2 + eps^2 + 2 d+ dq) / (d+^2 + 2 dq^2 + d+ dq + eps^2)
+      const real_t num = (dplus * dplus + eps2) + 2.0 * dplus * dq;
+      const real_t den = dplus * dplus + 2.0 * dq * dq + dplus * dq + eps2;
+      return den > 0 ? num / den : 1.0;
+    };
+    auto limit_at = [&](index_t i, const Vec3& to_face) {
+      const auto qi = prim_array(w[std::size_t(i)]);
+      const real_t h = m.cell_width(m.cells[std::size_t(i)].level, 0);
+      const real_t eps2 = std::pow(0.3 * h, 3);
+      for (int c = 0; c < 5; ++c) {
+        const real_t dq = dot(grad[std::size_t(i)][std::size_t(c)], to_face);
+        real_t lim = 1.0;
+        if (dq > 1e-14)
+          lim = venkat(qmax[std::size_t(i)][std::size_t(c)] - qi[std::size_t(c)],
+                       dq, eps2);
+        else if (dq < -1e-14)
+          lim = venkat(qi[std::size_t(c)] - qmin[std::size_t(i)][std::size_t(c)],
+                       -dq, eps2);
+        phi[std::size_t(i)][std::size_t(c)] =
+            std::min(phi[std::size_t(i)][std::size_t(c)], lim);
+      }
+    };
+    for (const CartFace& f : m.faces) {
+      limit_at(f.left, f.center - m.cell_center(m.cells[std::size_t(f.left)]));
+      limit_at(f.right,
+               f.center - m.cell_center(m.cells[std::size_t(f.right)]));
+    }
+  }
+
+  auto reconstruct = [&](index_t i, const Vec3& face_center) -> Prim {
+    if (!second_order) return w[std::size_t(i)];
+    const Vec3 d = face_center - m.cell_center(m.cells[std::size_t(i)]);
+    auto q = prim_array(w[std::size_t(i)]);
+    for (int c = 0; c < 5; ++c)
+      q[std::size_t(c)] += phi[std::size_t(i)][std::size_t(c)] *
+                           dot(grad[std::size_t(i)][std::size_t(c)], d);
+    // Guard against reconstruction into invalid states.
+    if (q[0] <= 0 || q[4] <= 0) return w[std::size_t(i)];
+    return prim_from_array(q);
+  };
+
+  // Interior faces.
+  for (const CartFace& f : m.faces) {
+    const Vec3 nrm = axis_normal(f.axis);
+    const Prim wl = reconstruct(f.left, f.center);
+    const Prim wr = reconstruct(f.right, f.center);
+    const Cons flux = euler::numerical_flux(wl, wr, nrm, opt_.flux);
+    for (int c = 0; c < 5; ++c) {
+      res[std::size_t(f.left)][std::size_t(c)] += f.area * flux[std::size_t(c)];
+      res[std::size_t(f.right)][std::size_t(c)] -= f.area * flux[std::size_t(c)];
+    }
+  }
+
+  // Domain (farfield) boundary faces.
+  for (const CartFace& f : m.boundary_faces) {
+    const Vec3 nrm = boundary_normal(f);
+    const Cons flux =
+        euler::farfield_flux(w[std::size_t(f.left)], freestream_, nrm, opt_.flux);
+    for (int c = 0; c < 5; ++c)
+      res[std::size_t(f.left)][std::size_t(c)] += f.area * flux[std::size_t(c)];
+  }
+
+  // Embedded (cut-cell) walls: pressure flux over the clipped surface.
+  for (std::size_t i = 0; i < n; ++i) {
+    const cartesian::CartCell& c = m.cells[i];
+    if (!c.cut) continue;
+    const Cons flux = euler::wall_flux(w[i], c.wall_area);
+    for (int q = 0; q < 5; ++q) res[i][std::size_t(q)] += flux[std::size_t(q)];
+  }
+}
+
+void Cart3DSolver::smooth(int level, int steps) {
+  const CartMesh& m = hierarchy_.levels[std::size_t(level)];
+  std::vector<Cons>& u = state_[std::size_t(level)];
+  const std::vector<Cons>& f = forcing_[std::size_t(level)];
+  const std::size_t n = m.cells.size();
+
+  // Local time step: dt_i = CFL * V_i / sum(|lambda| A).
+  std::vector<real_t> wave(n, 0.0);
+  {
+    std::vector<Prim> w(n);
+    for (std::size_t i = 0; i < n; ++i) w[i] = euler::to_primitive(u[i]);
+    for (const CartFace& fc : m.faces) {
+      const Vec3 nrm = axis_normal(fc.axis);
+      const real_t sl = euler::spectral_radius(w[std::size_t(fc.left)], nrm);
+      const real_t sr = euler::spectral_radius(w[std::size_t(fc.right)], nrm);
+      wave[std::size_t(fc.left)] += sl * fc.area;
+      wave[std::size_t(fc.right)] += sr * fc.area;
+    }
+    for (const CartFace& fc : m.boundary_faces)
+      wave[std::size_t(fc.left)] +=
+          euler::spectral_radius(w[std::size_t(fc.left)], boundary_normal(fc)) *
+          fc.area;
+    for (std::size_t i = 0; i < n; ++i) {
+      const cartesian::CartCell& c = m.cells[i];
+      if (c.cut)
+        wave[i] += euler::spectral_radius(w[i], normalized(c.wall_area)) *
+                   norm(c.wall_area);
+    }
+  }
+
+  const bool second = opt_.second_order && level == 0;
+  // Three-stage Runge-Kutta smoother (Jameson-style coefficients).
+  static constexpr real_t kAlpha[3] = {0.1481, 0.4, 1.0};
+  for (int step = 0; step < steps; ++step) {
+    const std::vector<Cons> u0 = u;
+    for (real_t alpha : kAlpha) {
+      compute_residual(level, u, residual_[std::size_t(level)], second);
+      std::vector<Cons>& r = residual_[std::size_t(level)];
+      for (std::size_t i = 0; i < n; ++i) {
+        const real_t v = m.cell_volume(m.cells[i]);
+        if (wave[i] <= 0 || v <= 0) continue;
+        const real_t dt = opt_.cfl * v / wave[i];
+        Cons unew = u0[i];
+        for (int c = 0; c < 5; ++c)
+          unew[std::size_t(c)] -= alpha * dt / v *
+                                  (r[i][std::size_t(c)] - f[i][std::size_t(c)]);
+        if (euler::is_valid(unew)) u[i] = unew;
+        // else: keep the previous stage value (positivity guard).
+      }
+    }
+  }
+}
+
+void Cart3DSolver::restrict_to(int level) {
+  const auto& map = hierarchy_.maps[std::size_t(level)];
+  const CartMesh& fine = hierarchy_.levels[std::size_t(level)];
+  const CartMesh& coarse = hierarchy_.levels[std::size_t(level) + 1];
+  std::vector<Cons>& uc = state_[std::size_t(level) + 1];
+  std::vector<Cons>& fc = forcing_[std::size_t(level) + 1];
+  const std::size_t nc = coarse.cells.size();
+
+  // Volume-weighted state restriction.
+  std::vector<real_t> vol(nc, 0.0);
+  uc.assign(nc, Cons{});
+  for (std::size_t i = 0; i < fine.cells.size(); ++i) {
+    const std::size_t j = std::size_t(map[i]);
+    const real_t v = fine.cell_volume(fine.cells[i]);
+    vol[j] += v;
+    for (int c = 0; c < 5; ++c)
+      uc[j][std::size_t(c)] += v * state_[std::size_t(level)][i][std::size_t(c)];
+  }
+  for (std::size_t j = 0; j < nc; ++j) {
+    if (vol[j] <= 0) {
+      uc[j] = euler::to_conservative(freestream_);
+      continue;
+    }
+    for (int c = 0; c < 5; ++c) uc[j][std::size_t(c)] /= vol[j];
+  }
+  restricted_snapshot_[std::size_t(level) + 1] = uc;
+
+  // FAS forcing: f_c = R_c(restricted u) - I(R_f(u) - f_f). The fine
+  // residual must come from the operator actually being solved on that
+  // level (second order on the finest grid), else the coarse correction
+  // targets the wrong equation and multigrid stalls.
+  compute_residual(level, state_[std::size_t(level)],
+                   residual_[std::size_t(level)],
+                   opt_.second_order && level == 0);
+  std::vector<Cons> transferred(nc, Cons{});
+  for (std::size_t i = 0; i < fine.cells.size(); ++i) {
+    const std::size_t j = std::size_t(map[i]);
+    for (int c = 0; c < 5; ++c)
+      transferred[j][std::size_t(c)] +=
+          residual_[std::size_t(level)][i][std::size_t(c)] -
+          forcing_[std::size_t(level)][i][std::size_t(c)];
+  }
+  compute_residual(level + 1, uc, residual_[std::size_t(level) + 1], false);
+  fc.assign(nc, Cons{});
+  for (std::size_t j = 0; j < nc; ++j)
+    for (int c = 0; c < 5; ++c)
+      fc[j][std::size_t(c)] = residual_[std::size_t(level) + 1][j][std::size_t(c)] -
+                              transferred[j][std::size_t(c)];
+}
+
+void Cart3DSolver::prolong_correction(int level) {
+  const auto& map = hierarchy_.maps[std::size_t(level)];
+  const std::vector<Cons>& uc = state_[std::size_t(level) + 1];
+  const std::vector<Cons>& snap = restricted_snapshot_[std::size_t(level) + 1];
+  std::vector<Cons>& uf = state_[std::size_t(level)];
+  for (std::size_t i = 0; i < uf.size(); ++i) {
+    const std::size_t j = std::size_t(map[i]);
+    Cons unew = uf[i];
+    for (int c = 0; c < 5; ++c)
+      unew[std::size_t(c)] += opt_.correction_damping *
+                              (uc[j][std::size_t(c)] - snap[j][std::size_t(c)]);
+    if (euler::is_valid(unew)) uf[i] = unew;
+  }
+}
+
+void Cart3DSolver::mg_cycle(int level) {
+  const int nl = num_levels();
+  smooth(level, opt_.smooth_steps);
+  if (level + 1 >= nl) return;
+  restrict_to(level);
+  const int visits = (opt_.cycle == CycleType::W && level + 2 < nl) ? 2 : 1;
+  for (int v = 0; v < visits; ++v) mg_cycle(level + 1);
+  prolong_correction(level);
+  // One post-smoothing step damps the high-frequency error injected by the
+  // piecewise-constant prolongation; without it the limited second-order
+  // fine operator amplifies the injected jumps.
+  if (opt_.post_smooth_steps > 0) smooth(level, opt_.post_smooth_steps);
+}
+
+real_t Cart3DSolver::residual_norm() {
+  compute_residual(0, state_[0], residual_[0],
+                   opt_.second_order);
+  const CartMesh& m = hierarchy_.levels[0];
+  real_t sum = 0;
+  for (std::size_t i = 0; i < residual_[0].size(); ++i) {
+    const real_t v = m.cell_volume(m.cells[i]);
+    if (v <= 0) continue;
+    const real_t r = residual_[0][i][0] / v;
+    sum += r * r;
+  }
+  return std::sqrt(sum / real_t(std::max<std::size_t>(1, residual_[0].size())));
+}
+
+real_t Cart3DSolver::run_cycle() {
+  mg_cycle(0);
+  return residual_norm();
+}
+
+std::vector<real_t> Cart3DSolver::solve(int max_cycles, real_t orders) {
+  std::vector<real_t> history;
+  history.push_back(residual_norm());
+  const real_t target = history[0] * std::pow(10.0, -orders);
+  for (int c = 0; c < max_cycles; ++c) {
+    const real_t r = run_cycle();
+    history.push_back(r);
+    if (r <= target) break;
+  }
+  return history;
+}
+
+Forces Cart3DSolver::integrate_forces() const {
+  const CartMesh& m = hierarchy_.levels[0];
+  Forces out;
+  const real_t pinf = freestream_.p;
+  for (std::size_t i = 0; i < m.cells.size(); ++i) {
+    const cartesian::CartCell& c = m.cells[i];
+    if (!c.cut) continue;
+    const Prim w = euler::to_primitive(state_[0][i]);
+    out.force += (w.p - pinf) * c.wall_area;
+  }
+  // Coefficients normalized by freestream dynamic pressure (unit reference
+  // area; the examples report raw coefficients for trend comparisons).
+  const real_t q = 0.5 * freestream_.rho * dot(freestream_.vel, freestream_.vel);
+  if (q > 0) {
+    const Vec3 drag_dir = normalized(freestream_.vel);
+    out.cd = dot(out.force, drag_dir) / q;
+    out.cl = (out.force.z - dot(out.force, drag_dir) * drag_dir.z) / q;
+  }
+  return out;
+}
+
+std::vector<LevelWork> Cart3DSolver::level_work() const {
+  // Replay the cycle recursion to count level visits exactly; for W-cycles
+  // this reproduces the paper's geometric growth toward the coarse levels
+  // (Sec. VI quotes 2^(n-1) = 32 coarsest-level visits for six levels).
+  std::vector<index_t> visits(hierarchy_.levels.size(), 0);
+  struct Counter {
+    std::vector<index_t>& v;
+    int nl;
+    CycleType cyc;
+    void descend(int level) {
+      v[std::size_t(level)] += 1;
+      if (level + 1 >= nl) return;
+      const int reps = (cyc == CycleType::W && level + 2 < nl) ? 2 : 1;
+      for (int r = 0; r < reps; ++r) descend(level + 1);
+    }
+  } counter{visits, int(hierarchy_.levels.size()), opt_.cycle};
+  counter.descend(0);
+
+  std::vector<LevelWork> w;
+  for (std::size_t l = 0; l < hierarchy_.levels.size(); ++l) {
+    LevelWork lw;
+    lw.cells = hierarchy_.levels[l].num_cells();
+    lw.faces = index_t(hierarchy_.levels[l].faces.size());
+    lw.visits_per_cycle = visits[l];
+    w.push_back(lw);
+  }
+  return w;
+}
+
+}  // namespace columbia::cart3d

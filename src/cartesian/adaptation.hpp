@@ -1,0 +1,34 @@
+// Solution-adaptive mesh refinement.
+//
+// Cart3D's meshes are *adaptively refined*: beyond the geometry-driven
+// refinement of the initial mesh (paper Sec. V, "14 levels of adaptive
+// subdivision" for the SSLV), cells are subdivided where the flow demands
+// it. This module refines a flagged subset of cells, restores 2:1 balance,
+// re-classifies cut cells, and re-establishes the SFC ordering — returning
+// a mesh indistinguishable from a first-build at the finer resolution.
+#pragma once
+
+#include <vector>
+
+#include "cartesian/cart_mesh.hpp"
+#include "euler/state.hpp"
+
+namespace columbia::cartesian {
+
+/// Refines every flagged cell one level (deepening max_level if needed),
+/// restores 2:1 balance, re-classifies against `surface` (may be null for
+/// geometry-free meshes), and rebuilds SFC order + faces.
+/// `flags` is parallel to m.cells.
+CartMesh refine_cells(const CartMesh& m, const geom::TriSurface* surface,
+                      const std::vector<bool>& flags,
+                      SfcKind sfc = SfcKind::PeanoHilbert,
+                      real_t min_fluid_frac = 0.05);
+
+/// Flags the `fraction` of cells with the largest density jumps across
+/// their faces (undivided gradient indicator — the standard shock/feature
+/// sensor).
+std::vector<bool> flag_by_density_jump(const CartMesh& m,
+                                       std::span<const euler::Cons> solution,
+                                       real_t fraction = 0.1);
+
+}  // namespace columbia::cartesian

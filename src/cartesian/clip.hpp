@@ -1,0 +1,26 @@
+// Triangle-against-box polygon clipping.
+//
+// A cut cell's wall boundary condition needs the area vector of the piece
+// of surface inside the cell (paper Sec. V: embedded-boundary cut cells).
+// Sutherland-Hodgman clipping against the six box planes yields the clipped
+// polygon; its area vector is exact for planar input.
+#pragma once
+
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace columbia::cartesian {
+
+/// Clips triangle (a,b,c) to the box; returns the clipped polygon's
+/// vertices (empty when no overlap).
+std::vector<geom::Vec3> clip_triangle_to_box(const geom::Vec3& a,
+                                             const geom::Vec3& b,
+                                             const geom::Vec3& c,
+                                             const geom::Aabb& box);
+
+/// Area vector (normal scaled by area) of a planar polygon.
+geom::Vec3 polygon_area_vector(const std::vector<geom::Vec3>& poly);
+
+}  // namespace columbia::cartesian

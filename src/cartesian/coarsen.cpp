@@ -1,0 +1,119 @@
+#include "cartesian/coarsen.hpp"
+
+#include "sfc/sfc_partition.hpp"
+
+#include "support/assert.hpp"
+
+namespace columbia::cartesian {
+
+CoarsenResult coarsen_sfc(const CartMesh& fine, SfcKind kind) {
+  CoarsenResult out;
+  out.coarse.domain = fine.domain;
+  out.coarse.base_n = fine.base_n;
+  out.coarse.max_level = fine.max_level;
+  out.fine_to_coarse.assign(fine.cells.size(), kInvalidIndex);
+
+  const std::size_t n = fine.cells.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const CartCell& c = fine.cells[i];
+    bool collapsed = false;
+    // Coarsening may proceed below the base grid (negative levels) as long
+    // as the parent span still tiles the domain and the packed level field
+    // stays in range.
+    const std::uint32_t pspan2 = fine.cell_span(c) * 2;
+    const std::uint32_t n_fine =
+        std::uint32_t(fine.base_n) << fine.max_level;
+    const bool can_coarsen =
+        c.level > -8 && pspan2 <= n_fine && n_fine % pspan2 == 0;
+    if (can_coarsen && i + 8 <= n) {
+      // Candidate parent: the level-1 cell containing c.
+      const std::uint32_t pspan = fine.cell_span(c) * 2;
+      const std::array<std::uint32_t, 3> parent = {
+          c.anchor[0] / pspan * pspan, c.anchor[1] / pspan * pspan,
+          c.anchor[2] / pspan * pspan};
+      // The SFC groups the 8 siblings contiguously; verify the next 8
+      // cells are exactly those siblings at the same level.
+      bool octet = true;
+      for (std::size_t k = 0; k < 8 && octet; ++k) {
+        const CartCell& s = fine.cells[i + k];
+        if (s.level != c.level) {
+          octet = false;
+          break;
+        }
+        for (int a = 0; a < 3; ++a)
+          if (s.anchor[std::size_t(a)] / pspan * pspan !=
+              parent[std::size_t(a)]) {
+            octet = false;
+            break;
+          }
+      }
+      if (octet) {
+        CartCell p;
+        p.anchor = parent;
+        p.level = std::int8_t(c.level - 1);
+        real_t frac = 0;
+        for (std::size_t k = 0; k < 8; ++k) {
+          const CartCell& s = fine.cells[i + k];
+          p.cut = p.cut || s.cut;
+          frac += s.fluid_frac;
+          p.wall_area += s.wall_area;
+          out.fine_to_coarse[i + k] = index_t(out.coarse.cells.size());
+        }
+        p.fluid_frac = frac / 8.0;
+        out.coarse.cells.push_back(p);
+        i += 8;
+        collapsed = true;
+      }
+    }
+    if (!collapsed) {
+      out.fine_to_coarse[i] = index_t(out.coarse.cells.size());
+      out.coarse.cells.push_back(c);
+      ++i;
+    }
+  }
+
+  // The single-pass construction already leaves cells SFC-ordered, but the
+  // parent's own key differs from its first child's; re-sorting keeps keys
+  // exact and is O(n log n) on an almost-sorted array.
+  std::vector<index_t> old_index(out.coarse.cells.size());
+  {
+    // Track positions across the sort to fix fine_to_coarse.
+    out.coarse.sfc_keys.resize(out.coarse.cells.size());
+    for (std::size_t k = 0; k < out.coarse.cells.size(); ++k)
+      out.coarse.sfc_keys[k] = sfc_key_of(out.coarse, out.coarse.cells[k], kind);
+    const auto order = sfc::sort_order(out.coarse.sfc_keys);
+    std::vector<index_t> new_of_old(order.size());
+    for (std::size_t k = 0; k < order.size(); ++k)
+      new_of_old[std::size_t(order[k])] = index_t(k);
+    std::vector<CartCell> sorted(order.size());
+    std::vector<std::uint64_t> skeys(order.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      sorted[k] = out.coarse.cells[std::size_t(order[k])];
+      skeys[k] = out.coarse.sfc_keys[std::size_t(order[k])];
+    }
+    out.coarse.cells = std::move(sorted);
+    out.coarse.sfc_keys = std::move(skeys);
+    for (auto& f2c : out.fine_to_coarse)
+      f2c = new_of_old[std::size_t(f2c)];
+    (void)old_index;
+  }
+  build_faces(out.coarse);
+  return out;
+}
+
+CartHierarchy build_hierarchy(const CartMesh& fine, int num_levels,
+                              SfcKind kind) {
+  COLUMBIA_REQUIRE(num_levels >= 1);
+  CartHierarchy h;
+  h.levels.push_back(fine);
+  for (int l = 1; l < num_levels; ++l) {
+    CoarsenResult r = coarsen_sfc(h.levels.back(), kind);
+    if (r.coarse.cells.size() >= h.levels.back().cells.size()) break;
+    h.maps.push_back(std::move(r.fine_to_coarse));
+    h.levels.push_back(std::move(r.coarse));
+  }
+  return h;
+}
+
+}  // namespace columbia::cartesian

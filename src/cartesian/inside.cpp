@@ -1,0 +1,85 @@
+#include "cartesian/inside.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace columbia::cartesian {
+
+using geom::Vec3;
+
+InsideClassifier::InsideClassifier(const geom::TriSurface& surface, int grid)
+    : surface_(surface), bounds_(surface.bounds()), grid_(grid) {
+  COLUMBIA_REQUIRE(grid >= 1);
+  // Pad the bounds slightly so boundary queries never index out of range.
+  const Vec3 pad = 1e-9 * (bounds_.hi - bounds_.lo) + Vec3{1e-12, 1e-12, 1e-12};
+  bounds_.lo -= pad;
+  bounds_.hi += pad;
+  dx_ = (bounds_.hi.x - bounds_.lo.x) / grid_;
+  dy_ = (bounds_.hi.y - bounds_.lo.y) / grid_;
+
+  buckets_.assign(std::size_t(grid_) * std::size_t(grid_),
+                  std::vector<index_t>{});
+  for (index_t t = 0; t < surface_.num_triangles(); ++t) {
+    const geom::Aabb tb = surface_.triangle_bounds(t);
+    const int ix0 = std::clamp(int((tb.lo.x - bounds_.lo.x) / dx_), 0, grid_ - 1);
+    const int ix1 = std::clamp(int((tb.hi.x - bounds_.lo.x) / dx_), 0, grid_ - 1);
+    const int iy0 = std::clamp(int((tb.lo.y - bounds_.lo.y) / dy_), 0, grid_ - 1);
+    const int iy1 = std::clamp(int((tb.hi.y - bounds_.lo.y) / dy_), 0, grid_ - 1);
+    for (int iy = iy0; iy <= iy1; ++iy)
+      for (int ix = ix0; ix <= ix1; ++ix)
+        buckets_[std::size_t(iy) * std::size_t(grid_) + std::size_t(ix)]
+            .push_back(t);
+  }
+}
+
+std::size_t InsideClassifier::bucket_of(real_t x, real_t y) const {
+  const int ix = std::clamp(int((x - bounds_.lo.x) / dx_), 0, grid_ - 1);
+  const int iy = std::clamp(int((y - bounds_.lo.y) / dy_), 0, grid_ - 1);
+  return std::size_t(iy) * std::size_t(grid_) + std::size_t(ix);
+}
+
+bool InsideClassifier::inside(const Vec3& p) const {
+  if (!bounds_.contains(p)) return false;
+  // Count crossings of the downward ray {(p.x, p.y, z) : z < p.z}.
+  int crossings = 0;
+  for (index_t t : buckets_[bucket_of(p.x, p.y)]) {
+    const geom::Triangle& tri = surface_.triangle(t);
+    const Vec3& a = surface_.vertex(tri.v[0]);
+    const Vec3& b = surface_.vertex(tri.v[1]);
+    const Vec3& c = surface_.vertex(tri.v[2]);
+    // 2D point-in-triangle in the (x, y) projection via edge functions.
+    const real_t d1 = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+    const real_t d2 = (c.x - b.x) * (p.y - b.y) - (c.y - b.y) * (p.x - b.x);
+    const real_t d3 = (a.x - c.x) * (p.y - c.y) - (a.y - c.y) * (p.x - c.x);
+    const bool has_neg = (d1 < 0) || (d2 < 0) || (d3 < 0);
+    const bool has_pos = (d1 > 0) || (d2 > 0) || (d3 > 0);
+    if (has_neg && has_pos) continue;  // outside the projected triangle
+    // Height of the triangle plane at (p.x, p.y).
+    const Vec3 n = cross(b - a, c - a);
+    if (std::abs(n.z) < 1e-30) continue;  // vertical triangle: no z-crossing
+    const real_t z =
+        a.z - ((p.x - a.x) * n.x + (p.y - a.y) * n.y) / n.z;
+    if (z < p.z) ++crossings;
+  }
+  return (crossings % 2) == 1;
+}
+
+real_t InsideClassifier::fluid_fraction(const geom::Aabb& box,
+                                        int samples) const {
+  COLUMBIA_REQUIRE(samples >= 1);
+  int fluid = 0;
+  const Vec3 size = box.hi - box.lo;
+  for (int k = 0; k < samples; ++k)
+    for (int j = 0; j < samples; ++j)
+      for (int i = 0; i < samples; ++i) {
+        const Vec3 p = box.lo + Vec3{size.x * (i + 0.5) / samples,
+                                     size.y * (j + 0.5) / samples,
+                                     size.z * (k + 0.5) / samples};
+        if (!inside(p)) ++fluid;
+      }
+  return real_t(fluid) / real_t(samples * samples * samples);
+}
+
+}  // namespace columbia::cartesian

@@ -1,0 +1,91 @@
+// Automated aero-performance database generation (paper Sec. IV).
+//
+// The paper's parametric studies sweep Configuration-Space (control surface
+// deflections) x Wind-Space (Mach, angle-of-attack, sideslip). Job control
+// is hierarchical: geometry instances sit at the top with wind points
+// below, so surface triangulation and mesh generation are amortized over
+// the hundreds of wind-space runs on each geometry instance; independent
+// cases run simultaneously, as many as memory permits.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cart3d/solver.hpp"
+#include "cartesian/cart_mesh.hpp"
+#include "geom/components.hpp"
+#include "support/types.hpp"
+
+namespace columbia::driver {
+
+struct WindPoint {
+  real_t mach;
+  real_t alpha_deg;
+  real_t beta_deg;
+};
+
+struct CaseResult {
+  real_t deflection_rad;
+  WindPoint wind;
+  real_t cl = 0, cd = 0;
+  real_t residual_drop = 0;  // final/initial residual
+  int cycles = 0;
+};
+
+struct DatabaseSpec {
+  /// Configuration space: elevon deflections (radians).
+  std::vector<real_t> deflections{0.0};
+  /// Wind space axes (full tensor product is run).
+  std::vector<real_t> machs{0.8};
+  std::vector<real_t> alphas_deg{0.0};
+  std::vector<real_t> betas_deg{0.0};
+
+  /// Geometry factory per deflection; defaults to the SSLV assembly.
+  std::function<geom::TriSurface(real_t)> geometry =
+      [](real_t d) { return geom::make_sslv(d, 1); };
+  geom::Aabb domain;  // defaults to geometry bounds padded 4x if invalid
+
+  cartesian::CartMeshOptions mesh_options;
+  cart3d::SolverOptions solver_options;
+  int max_cycles = 30;
+  real_t convergence_orders = 2;
+  /// Cases run simultaneously (paper: "as many cases ... as memory
+  /// permits"); maps to worker threads here.
+  int simultaneous_cases = 4;
+};
+
+struct DatabaseStats {
+  int meshes_generated = 0;
+  int cases_run = 0;
+  double mesh_gen_seconds = 0;
+  double solve_seconds = 0;
+  double total_cells_meshed = 0;
+
+  double cells_per_minute() const {
+    return mesh_gen_seconds > 0 ? total_cells_meshed / mesh_gen_seconds * 60
+                                : 0;
+  }
+};
+
+class DatabaseFill {
+ public:
+  explicit DatabaseFill(DatabaseSpec spec);
+
+  /// Runs the whole database: one mesh per geometry instance, all wind
+  /// points on that mesh, `simultaneous_cases` cases in flight at a time.
+  /// Results are ordered by (deflection, mach, alpha, beta).
+  std::vector<CaseResult> run();
+
+  const DatabaseStats& stats() const { return stats_; }
+
+  index_t num_cases() const {
+    return index_t(spec_.deflections.size() * spec_.machs.size() *
+                   spec_.alphas_deg.size() * spec_.betas_deg.size());
+  }
+
+ private:
+  DatabaseSpec spec_;
+  DatabaseStats stats_;
+};
+
+}  // namespace columbia::driver

@@ -1,0 +1,132 @@
+#include "driver/flight.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace columbia::driver {
+
+namespace {
+
+/// Index of the interval containing x in the sorted axis (clamped).
+std::size_t bracket(const std::vector<real_t>& axis, real_t x, real_t& t) {
+  if (axis.size() == 1) {
+    t = 0;
+    return 0;
+  }
+  std::size_t i = 0;
+  while (i + 2 < axis.size() && x > axis[i + 1]) ++i;
+  const real_t lo = axis[i], hi = axis[i + 1];
+  t = hi > lo ? std::clamp((x - lo) / (hi - lo), real_t(0), real_t(1))
+              : real_t(0);
+  return i;
+}
+
+}  // namespace
+
+AeroDatabase::AeroDatabase(const DatabaseSpec& spec,
+                           std::span<const CaseResult> results)
+    : deflections_(spec.deflections),
+      machs_(spec.machs),
+      alphas_(spec.alphas_deg) {
+  COLUMBIA_REQUIRE(spec.betas_deg.size() == 1);
+  COLUMBIA_REQUIRE(std::is_sorted(deflections_.begin(), deflections_.end()));
+  COLUMBIA_REQUIRE(std::is_sorted(machs_.begin(), machs_.end()));
+  COLUMBIA_REQUIRE(std::is_sorted(alphas_.begin(), alphas_.end()));
+  const std::size_t expected =
+      deflections_.size() * machs_.size() * alphas_.size();
+  COLUMBIA_REQUIRE(results.size() == expected);
+  cl_.resize(expected);
+  cd_.resize(expected);
+  // DatabaseFill orders results by (deflection, mach, alpha, beta).
+  for (std::size_t k = 0; k < expected; ++k) {
+    cl_[k] = results[k].cl;
+    cd_[k] = results[k].cd;
+  }
+}
+
+real_t AeroDatabase::interp(const std::vector<real_t>& table, real_t d,
+                            real_t m, real_t a) const {
+  real_t td, tm, ta;
+  const std::size_t id = bracket(deflections_, d, td);
+  const std::size_t im = bracket(machs_, m, tm);
+  const std::size_t ia = bracket(alphas_, a, ta);
+  const std::size_t nm = machs_.size(), na = alphas_.size();
+  auto at = [&](std::size_t i, std::size_t j, std::size_t k) {
+    i = std::min(i, deflections_.size() - 1);
+    j = std::min(j, nm - 1);
+    k = std::min(k, na - 1);
+    return table[(i * nm + j) * na + k];
+  };
+  real_t acc = 0;
+  for (int bi = 0; bi < 2; ++bi)
+    for (int bj = 0; bj < 2; ++bj)
+      for (int bk = 0; bk < 2; ++bk) {
+        const real_t w = (bi ? td : 1 - td) * (bj ? tm : 1 - tm) *
+                         (bk ? ta : 1 - ta);
+        if (w == 0) continue;
+        acc += w * at(id + std::size_t(bi), im + std::size_t(bj),
+                      ia + std::size_t(bk));
+      }
+  return acc;
+}
+
+real_t AeroDatabase::cl(real_t d, real_t m, real_t a) const {
+  return interp(cl_, d, m, a);
+}
+real_t AeroDatabase::cd(real_t d, real_t m, real_t a) const {
+  return interp(cd_, d, m, a);
+}
+
+real_t trim_alpha(const AeroDatabase& db, real_t deflection, real_t mach,
+                  real_t target_cl) {
+  real_t lo = db.alphas().front();
+  real_t hi = db.alphas().back();
+  // CL is monotone in alpha over sane databases; bisect, clamp otherwise.
+  const bool increasing = db.cl(deflection, mach, hi) >=
+                          db.cl(deflection, mach, lo);
+  for (int it = 0; it < 60; ++it) {
+    const real_t mid = 0.5 * (lo + hi);
+    const real_t c = db.cl(deflection, mach, mid);
+    if ((c < target_cl) == increasing)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<FlightState> fly_longitudinal(const AeroDatabase& db,
+                                          const FlightSpec& spec,
+                                          FlightState state) {
+  COLUMBIA_REQUIRE(spec.steps >= 1 && spec.dt > 0);
+  constexpr real_t kG = 9.80665;
+  std::vector<FlightState> traj{state};
+  for (int s = 0; s < spec.steps; ++s) {
+    state.mach = state.velocity / spec.sound_speed;
+    state.alpha_deg = trim_alpha(db, spec.deflection, state.mach,
+                                 spec.target_cl);
+    const real_t q =
+        0.5 * spec.air_density * state.velocity * state.velocity;
+    const real_t lift = q * spec.reference_area *
+                        db.cl(spec.deflection, state.mach, state.alpha_deg);
+    const real_t drag = q * spec.reference_area *
+                        db.cd(spec.deflection, state.mach, state.alpha_deg);
+    // Point-mass longitudinal dynamics.
+    const real_t vdot =
+        (spec.thrust - drag) / spec.mass - kG * std::sin(state.gamma);
+    const real_t gdot =
+        (lift - spec.mass * kG * std::cos(state.gamma)) /
+        (spec.mass * std::max(state.velocity, real_t(1.0)));
+    state.velocity = std::max(real_t(1.0), state.velocity + spec.dt * vdot);
+    state.gamma += spec.dt * gdot;
+    state.altitude += spec.dt * state.velocity * std::sin(state.gamma);
+    state.range += spec.dt * state.velocity * std::cos(state.gamma);
+    state.time += spec.dt;
+    traj.push_back(state);
+  }
+  return traj;
+}
+
+}  // namespace columbia::driver

@@ -1,0 +1,75 @@
+// Flying the vehicle through the aero-performance database.
+//
+// Paper Sec. I: "when coupled with a six-degree-of-freedom (6-DOF)
+// integrator, the vehicle can be 'flown' through the database by guidance
+// and control system designers to explore issues of stability and
+// control". This module provides that consumer side: a queryable
+// interpolated database built from DatabaseFill results, a longitudinal
+// trim solver, and a point-mass longitudinal flight integrator (the
+// pitch-plane subset of the 6-DOF).
+#pragma once
+
+#include <vector>
+
+#include "driver/database.hpp"
+
+namespace columbia::driver {
+
+/// Trilinearly-interpolated aero database over the (deflection, Mach,
+/// alpha) tensor grid produced by DatabaseFill (beta must be a single
+/// value). Queries clamp to the grid hull.
+class AeroDatabase {
+ public:
+  /// `results` must be the exact output of DatabaseFill::run() for `spec`.
+  AeroDatabase(const DatabaseSpec& spec, std::span<const CaseResult> results);
+
+  real_t cl(real_t deflection, real_t mach, real_t alpha_deg) const;
+  real_t cd(real_t deflection, real_t mach, real_t alpha_deg) const;
+
+  std::span<const real_t> deflections() const { return deflections_; }
+  std::span<const real_t> machs() const { return machs_; }
+  std::span<const real_t> alphas() const { return alphas_; }
+
+ private:
+  std::vector<real_t> deflections_, machs_, alphas_;
+  std::vector<real_t> cl_, cd_;  // [d][m][a] row-major
+
+  real_t interp(const std::vector<real_t>& table, real_t d, real_t m,
+                real_t a) const;
+};
+
+/// Angle of attack that achieves `target_cl` at the given Mach and
+/// deflection (bisection over the database's alpha range; clamped result).
+real_t trim_alpha(const AeroDatabase& db, real_t deflection, real_t mach,
+                  real_t target_cl);
+
+/// Point-mass longitudinal flight state (pitch plane of the 6-DOF).
+struct FlightState {
+  real_t time = 0;
+  real_t velocity = 250;    // m/s
+  real_t gamma = 0;         // flight-path angle, rad
+  real_t altitude = 10000;  // m
+  real_t range = 0;         // m
+  real_t alpha_deg = 0;
+  real_t mach = 0.75;
+};
+
+struct FlightSpec {
+  real_t mass = 60000;           // kg
+  real_t reference_area = 120;   // m^2
+  real_t thrust = 1.2e5;         // N, constant
+  real_t deflection = 0;         // control setting during the segment
+  real_t target_cl = 0.5;        // G&C holds lift via trim each step
+  real_t dt = 0.5;               // s
+  int steps = 120;
+  real_t sound_speed = 300;      // m/s (constant-atmosphere approximation)
+  real_t air_density = 0.41;     // kg/m^3 at ~10 km
+};
+
+/// Integrates the longitudinal equations of motion, trimming alpha against
+/// the database at every step. Returns the trajectory including the start.
+std::vector<FlightState> fly_longitudinal(const AeroDatabase& db,
+                                          const FlightSpec& spec,
+                                          FlightState initial = {});
+
+}  // namespace columbia::driver

@@ -1,0 +1,48 @@
+// Variable-fidelity analysis campaign — the paper's top-level workflow.
+//
+// "Our approach ... relies on the use of a variable fidelity model, where a
+// high fidelity model which solves the Reynolds-averaged Navier-Stokes
+// equations (NSU3D) is used to perform the analysis at the most important
+// flight conditions ... and a lower fidelity model based on inviscid flow
+// analysis on adapted Cartesian meshes (Cart3D) is used to validate the new
+// design over a broad range of flight conditions" (paper Sec. I).
+//
+// This facade is the library's primary public entry point: one call runs
+// the RANS anchor points and the inviscid database sweep and returns both.
+#pragma once
+
+#include "driver/database.hpp"
+#include "mesh/builders.hpp"
+#include "nsu3d/solver.hpp"
+
+namespace columbia::driver {
+
+struct AnchorResult {
+  WindPoint wind;
+  real_t cl = 0, cd = 0;
+  real_t residual_drop = 0;
+  int cycles = 0;
+};
+
+struct CampaignSpec {
+  /// High-fidelity anchor points (RANS, NSU3D).
+  std::vector<WindPoint> anchor_points{{0.75, 0.0, 0.0}};
+  mesh::WingMeshSpec wing_mesh;
+  nsu3d::Nsu3dOptions nsu3d_options;
+  int nsu3d_max_cycles = 60;
+  real_t reynolds = 3.0e6;
+
+  /// Broad-envelope database (inviscid, Cart3D).
+  DatabaseSpec database;
+};
+
+struct CampaignResult {
+  std::vector<AnchorResult> anchors;     // high-fidelity results
+  std::vector<CaseResult> database;      // envelope sweep
+  DatabaseStats database_stats;
+};
+
+/// Runs the full variable-fidelity campaign.
+CampaignResult run_campaign(const CampaignSpec& spec);
+
+}  // namespace columbia::driver

@@ -1,0 +1,37 @@
+// Inviscid numerical fluxes.
+//
+// Cart3D uses a second-order cell-centered upwind scheme; NSU3D uses a
+// second-order node-centered upwind-biased scheme (paper Secs. III, V).
+// Both reduce at a face to a Riemann flux between reconstructed left and
+// right states. We provide Roe's approximate Riemann solver (with an
+// entropy fix), van Leer flux-vector splitting, and Rusanov (local
+// Lax-Friedrichs) as a robust fallback.
+#pragma once
+
+#include "euler/state.hpp"
+
+namespace columbia::euler {
+
+enum class FluxScheme { Roe, VanLeer, Rusanov };
+
+/// Physical (analytic) flux through unit normal n.
+Cons physical_flux(const Prim& w, const geom::Vec3& n);
+
+/// Numerical flux across a face with *unit* normal n and the given left and
+/// right states. All schemes are consistent (F(w,w,n) = physical_flux) and
+/// conservative (F(l,r,n) = -F(r,l,-n)).
+Cons numerical_flux(const Prim& left, const Prim& right, const geom::Vec3& n,
+                    FluxScheme scheme);
+
+/// Spectral radius |u.n| + a: the wave-speed bound used in time steps.
+real_t spectral_radius(const Prim& w, const geom::Vec3& unit_n);
+
+/// Flux through a solid wall (pressure only; exact for slip walls).
+Cons wall_flux(const Prim& w, const geom::Vec3& n);
+
+/// Characteristic farfield flux: switches between inflow/outflow using the
+/// freestream state (1D Riemann invariants along the boundary normal).
+Cons farfield_flux(const Prim& interior, const Prim& freestream,
+                   const geom::Vec3& unit_n, FluxScheme scheme);
+
+}  // namespace columbia::euler

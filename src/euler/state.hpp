@@ -1,0 +1,90 @@
+// Perfect-gas state vectors and conversions.
+//
+// Both solvers carry the compressible-flow unknowns the paper describes:
+// Cart3D solves five equations per cell (density, momentum, energy);
+// NSU3D adds a sixth coupled unknown, the Spalart-Allmaras turbulence
+// working variable (paper Secs. III, V).
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "geom/vec3.hpp"
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace columbia::euler {
+
+inline constexpr real_t kGamma = 1.4;
+
+/// Conservative state: [rho, rho*u, rho*v, rho*w, rho*E].
+using Cons = std::array<real_t, 5>;
+
+/// Primitive state.
+struct Prim {
+  real_t rho;
+  geom::Vec3 vel;
+  real_t p;
+
+  real_t sound_speed() const { return std::sqrt(kGamma * p / rho); }
+  real_t mach() const { return norm(vel) / sound_speed(); }
+};
+
+inline Cons to_conservative(const Prim& w) {
+  const real_t ke = 0.5 * w.rho * dot(w.vel, w.vel);
+  return {w.rho, w.rho * w.vel.x, w.rho * w.vel.y, w.rho * w.vel.z,
+          w.p / (kGamma - 1) + ke};
+}
+
+inline Prim to_primitive(const Cons& u) {
+  COLUMBIA_ASSERT(u[0] > 0);
+  const real_t inv_rho = 1.0 / u[0];
+  const geom::Vec3 vel{u[1] * inv_rho, u[2] * inv_rho, u[3] * inv_rho};
+  const real_t p = (kGamma - 1) * (u[4] - 0.5 * u[0] * dot(vel, vel));
+  return {u[0], vel, p};
+}
+
+/// True when the state is physically admissible.
+inline bool is_valid(const Cons& u) {
+  if (!(u[0] > 0) || !std::isfinite(u[0])) return false;
+  for (real_t x : u)
+    if (!std::isfinite(x)) return false;
+  return to_primitive(u).p > 0;
+}
+
+/// Freestream conditions from the wind-space parameters of the paper's
+/// database fills: Mach number, angle of attack, sideslip (Sec. IV).
+/// Nondimensionalization: rho_inf = 1, a_inf = 1 (so |v| = Mach).
+struct FlowConditions {
+  real_t mach = 0.75;
+  real_t alpha_deg = 0.0;  // angle of attack (pitch plane, x-z)
+  real_t beta_deg = 0.0;   // sideslip (x-y)
+  real_t reynolds = 3.0e6; // used by the viscous/turbulent terms in NSU3D
+
+  Prim freestream() const {
+    const real_t a = alpha_deg * real_t(3.14159265358979323846 / 180.0);
+    const real_t b = beta_deg * real_t(3.14159265358979323846 / 180.0);
+    const geom::Vec3 dir{std::cos(a) * std::cos(b), -std::sin(b),
+                         std::sin(a) * std::cos(b)};
+    // rho = 1, a_inf = 1 => p = 1/gamma.
+    return {1.0, mach * dir, 1.0 / kGamma};
+  }
+};
+
+inline Cons operator+(const Cons& a, const Cons& b) {
+  Cons r;
+  for (int i = 0; i < 5; ++i) r[std::size_t(i)] = a[std::size_t(i)] + b[std::size_t(i)];
+  return r;
+}
+inline Cons operator-(const Cons& a, const Cons& b) {
+  Cons r;
+  for (int i = 0; i < 5; ++i) r[std::size_t(i)] = a[std::size_t(i)] - b[std::size_t(i)];
+  return r;
+}
+inline Cons operator*(real_t s, const Cons& a) {
+  Cons r;
+  for (int i = 0; i < 5; ++i) r[std::size_t(i)] = s * a[std::size_t(i)];
+  return r;
+}
+
+}  // namespace columbia::euler

@@ -1,0 +1,49 @@
+// Axis-aligned bounding boxes.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/vec3.hpp"
+
+namespace columbia::geom {
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<real_t>::max(),
+          std::numeric_limits<real_t>::max(),
+          std::numeric_limits<real_t>::max()};
+  Vec3 hi{std::numeric_limits<real_t>::lowest(),
+          std::numeric_limits<real_t>::lowest(),
+          std::numeric_limits<real_t>::lowest()};
+
+  void expand(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+
+  void merge(const Aabb& b) {
+    expand(b.lo);
+    expand(b.hi);
+  }
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+  Vec3 center() const { return 0.5 * (lo + hi); }
+  Vec3 half_size() const { return 0.5 * (hi - lo); }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  bool overlaps(const Aabb& b) const {
+    return lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y &&
+           hi.y >= b.lo.y && lo.z <= b.hi.z && hi.z >= b.lo.z;
+  }
+};
+
+}  // namespace columbia::geom

@@ -1,0 +1,318 @@
+#include "geom/components.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace columbia::geom {
+
+namespace {
+
+constexpr real_t kPi = std::numbers::pi_v<real_t>;
+
+/// Stitches a closed tube from `rings` of equal point count, capping both
+/// ends with centroid fans. Winding: outward for rings ordered nose->tail
+/// and ring points counter-clockwise seen from +x.
+TriSurface loft_closed(const std::vector<std::vector<Vec3>>& rings,
+                       index_t component = 0) {
+  COLUMBIA_REQUIRE(rings.size() >= 2);
+  const std::size_t k = rings.front().size();
+  for (const auto& r : rings) COLUMBIA_REQUIRE(r.size() == k);
+
+  TriSurface s;
+  std::vector<std::vector<index_t>> ids(rings.size());
+  for (std::size_t i = 0; i < rings.size(); ++i)
+    for (const Vec3& p : rings[i]) ids[i].push_back(s.add_vertex(p));
+
+  for (std::size_t i = 0; i + 1 < rings.size(); ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t jn = (j + 1) % k;
+      const index_t a = ids[i][j], b = ids[i][jn];
+      const index_t c = ids[i + 1][j], d = ids[i + 1][jn];
+      s.add_triangle(a, b, c, component);
+      s.add_triangle(b, d, c, component);
+    }
+  }
+
+  // End caps: fan from the ring centroid. Front cap faces -x-ish
+  // (reverse winding), rear cap faces +x-ish.
+  auto centroid_of = [&](const std::vector<Vec3>& ring) {
+    Vec3 c{};
+    for (const Vec3& p : ring) c += p;
+    return c / real_t(ring.size());
+  };
+  const index_t front = s.add_vertex(centroid_of(rings.front()));
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t jn = (j + 1) % k;
+    s.add_triangle(front, ids.front()[jn], ids.front()[j], component);
+  }
+  const index_t back = s.add_vertex(centroid_of(rings.back()));
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t jn = (j + 1) % k;
+    s.add_triangle(back, ids.back()[j], ids.back()[jn], component);
+  }
+  return s;
+}
+
+/// Circle of `n` points of radius r in the y-z plane at station x.
+std::vector<Vec3> ring_at(real_t x, real_t r, int n) {
+  std::vector<Vec3> ring;
+  ring.reserve(std::size_t(n));
+  for (int j = 0; j < n; ++j) {
+    const real_t a = 2 * kPi * real_t(j) / real_t(n);
+    ring.push_back({x, r * std::cos(a), r * std::sin(a)});
+  }
+  return ring;
+}
+
+/// NACA-00xx half-thickness with the closed-trailing-edge coefficient.
+real_t naca_thickness(real_t t, real_t xbar) {
+  const real_t s = std::sqrt(xbar);
+  return 5.0 * t *
+         (0.2969 * s - 0.1260 * xbar - 0.3516 * xbar * xbar +
+          0.2843 * xbar * xbar * xbar - 0.1036 * xbar * xbar * xbar * xbar);
+}
+
+/// Closed airfoil loop (chordwise x, thickness z), `k` points, chord 1.
+/// Aft-of-hinge points rotate by `flap` about (hinge_x, 0).
+std::vector<Vec3> airfoil_loop(real_t thickness, int k, real_t flap,
+                               real_t hinge_x = 0.7) {
+  std::vector<Vec3> loop;
+  loop.reserve(std::size_t(k));
+  for (int j = 0; j < k; ++j) {
+    const real_t sang = 2 * kPi * real_t(j) / real_t(k);
+    const real_t xbar = 0.5 * (1.0 + std::cos(sang));
+    real_t z = naca_thickness(thickness, xbar);
+    if (sang > kPi) z = -z;
+    real_t x = xbar;
+    if (flap != 0.0 && xbar > hinge_x) {
+      const real_t dx = xbar - hinge_x;
+      const real_t c = std::cos(flap), sn = std::sin(flap);
+      // Positive deflection = trailing edge down (-z).
+      x = hinge_x + dx * c + z * sn;
+      z = -dx * sn + z * c;
+    }
+    loop.push_back({x, 0.0, z});
+  }
+  return loop;
+}
+
+}  // namespace
+
+TriSurface make_sphere(const Vec3& center, real_t radius, int n_theta,
+                       int n_phi) {
+  COLUMBIA_REQUIRE(n_theta >= 2 && n_phi >= 3);
+  // Rings ordered along increasing x (the loft axis), poles closed with
+  // tiny rings so the centroid fan caps stay well shaped.
+  std::vector<std::vector<Vec3>> rings;
+  rings.push_back(ring_at(-radius * std::cos(kPi / real_t(4 * n_theta)),
+                          radius * 1e-9, n_phi));
+  for (int i = n_theta - 1; i >= 1; --i) {
+    const real_t th = kPi * real_t(i) / real_t(n_theta);
+    rings.push_back(ring_at(radius * std::cos(th) /* x = pole axis */,
+                            radius * std::sin(th), n_phi));
+  }
+  rings.push_back(ring_at(radius * std::cos(kPi / real_t(4 * n_theta)),
+                          radius * 1e-9, n_phi));
+  TriSurface s = loft_closed(rings);
+  s.translate(center);
+  return s;
+}
+
+TriSurface make_box(const Vec3& lo, const Vec3& hi) {
+  TriSurface s;
+  index_t v[8];
+  for (int i = 0; i < 8; ++i) {
+    v[i] = s.add_vertex({(i & 1) ? hi.x : lo.x, (i & 2) ? hi.y : lo.y,
+                         (i & 4) ? hi.z : lo.z});
+  }
+  auto quad = [&](int a, int b, int c, int d) {
+    s.add_triangle(v[a], v[b], v[c]);
+    s.add_triangle(v[a], v[c], v[d]);
+  };
+  quad(0, 2, 3, 1);  // z = lo (normal -z)
+  quad(4, 5, 7, 6);  // z = hi (+z)
+  quad(0, 1, 5, 4);  // y = lo (-y)
+  quad(2, 6, 7, 3);  // y = hi (+y)
+  quad(0, 4, 6, 2);  // x = lo (-x)
+  quad(1, 3, 7, 5);  // x = hi (+x)
+  return s;
+}
+
+TriSurface make_body_of_revolution(
+    std::span<const std::pair<real_t, real_t>> profile, int n_seg) {
+  COLUMBIA_REQUIRE(profile.size() >= 2 && n_seg >= 3);
+  std::vector<std::vector<Vec3>> rings;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const auto [x, r] = profile[i];
+    // End stations collapse toward the axis; keep a sliver so the fan cap
+    // in loft_closed produces well-shaped triangles.
+    const real_t rr = std::max(r, real_t(1e-9));
+    rings.push_back(ring_at(x, rr, n_seg));
+  }
+  return loft_closed(rings);
+}
+
+TriSurface make_rocket_body(real_t length, real_t radius, real_t nose_frac,
+                            real_t tail_frac, int n_seg, int n_axial) {
+  COLUMBIA_REQUIRE(length > 0 && radius > 0);
+  COLUMBIA_REQUIRE(nose_frac + tail_frac < 1.0);
+  std::vector<std::pair<real_t, real_t>> profile;
+  const real_t nose_len = nose_frac * length;
+  const real_t tail_len = tail_frac * length;
+  for (int i = 0; i <= n_axial; ++i) {
+    const real_t x = length * real_t(i) / real_t(n_axial);
+    real_t r;
+    if (x < nose_len) {
+      // Elliptic ogive nose.
+      const real_t u = x / nose_len;
+      r = radius * std::sqrt(std::max<real_t>(0.0, u * (2.0 - u)));
+    } else if (x > length - tail_len) {
+      // Conical boat-tail down to 40% radius, then closed by the end cap.
+      const real_t u = (length - x) / tail_len;
+      r = radius * (0.4 + 0.6 * u);
+    } else {
+      r = radius;
+    }
+    profile.emplace_back(x, r);
+  }
+  profile.front().second = 0.0;
+  profile.back().second = 0.0;
+  return make_body_of_revolution(profile, n_seg);
+}
+
+TriSurface make_wing(const WingSpec& spec) {
+  COLUMBIA_REQUIRE(spec.n_span >= 2 && spec.n_chord >= 4);
+  const int k = 2 * spec.n_chord;
+  std::vector<std::vector<Vec3>> sections;
+  for (int i = 0; i <= spec.n_span; ++i) {
+    const real_t eta = real_t(i) / real_t(spec.n_span);  // 0..1 across span
+    const real_t y = (eta - 0.5) * spec.span;
+    const real_t t = std::abs(2.0 * eta - 1.0);          // 0 at root, 1 at tip
+    const real_t chord =
+        spec.root_chord + (spec.tip_chord - spec.root_chord) * t;
+    const real_t x_le = spec.sweep * t;
+    std::vector<Vec3> loop =
+        airfoil_loop(spec.thickness, k, spec.flap_deflection);
+    for (Vec3& p : loop) {
+      p.x = x_le + p.x * chord;
+      p.z *= chord;
+      p.y = y;
+    }
+    sections.push_back(std::move(loop));
+  }
+  // loft_closed expects the rings ordered along an axis with CCW-from-+axis
+  // orientation; airfoil loops advance clockwise seen from +y, so flip.
+  for (auto& sec : sections) std::reverse(sec.begin(), sec.end());
+  return loft_closed(sections);
+}
+
+TriSurface make_sslv(real_t elevon_deflection_rad, int resolution) {
+  COLUMBIA_REQUIRE(resolution >= 1);
+  const int r = resolution;
+  TriSurface assembly;
+
+  // External tank: the big center body.
+  TriSurface et = make_rocket_body(1.0, 0.085, 0.3, 0.05, 20 * r, 20 * r);
+  assembly.append(et);
+
+  // Two solid rocket boosters flanking the tank.
+  for (int side = -1; side <= 1; side += 2) {
+    TriSurface srb = make_rocket_body(0.9, 0.042, 0.2, 0.12, 14 * r, 16 * r);
+    srb.translate({0.05, real_t(side) * 0.13, 0.0});
+    assembly.append(srb);
+  }
+
+  // Orbiter fuselage above the tank.
+  TriSurface fus = make_rocket_body(0.55, 0.045, 0.3, 0.2, 14 * r, 14 * r);
+  fus.translate({0.25, 0.0, 0.14});
+  assembly.append(fus);
+
+  // Orbiter wing with deflected elevons (the config-space parameter).
+  WingSpec wing;
+  wing.span = 0.42;
+  wing.root_chord = 0.28;
+  wing.tip_chord = 0.07;
+  wing.sweep = 0.14;
+  wing.thickness = 0.06;
+  wing.flap_deflection = elevon_deflection_rad;
+  wing.n_span = 8 * r;
+  wing.n_chord = 10 * r;
+  TriSurface w = make_wing(wing);
+  w.translate({0.42, 0.0, 0.12});
+  assembly.append(w);
+
+  // Vertical tail: a half-span wing rotated upright.
+  WingSpec tail;
+  tail.span = 0.24;
+  tail.root_chord = 0.14;
+  tail.tip_chord = 0.05;
+  tail.sweep = 0.08;
+  tail.thickness = 0.08;
+  tail.n_span = 4 * r;
+  tail.n_chord = 6 * r;
+  TriSurface vt = make_wing(tail);
+  vt.rotate({0, 0, 0}, {1, 0, 0}, kPi / 2);  // span now along z
+  vt.translate({0.66, 0.0, 0.28});
+  assembly.append(vt);
+
+  // Fore and aft attach hardware: small boxes between tank and orbiter/SRBs.
+  assembly.append(make_box({0.18, -0.012, 0.08}, {0.22, 0.012, 0.115}));
+  assembly.append(make_box({0.62, -0.012, 0.08}, {0.68, 0.012, 0.115}));
+  assembly.append(make_box({0.45, 0.085, -0.012}, {0.50, 0.132, 0.012}));
+  assembly.append(make_box({0.45, -0.132, -0.012}, {0.50, -0.085, 0.012}));
+
+  // Five engines with gimbaling nozzles: three on the orbiter aft, one per
+  // booster — short cones.
+  auto nozzle = [&](Vec3 at) {
+    std::vector<std::pair<real_t, real_t>> prof = {
+        {0.0, 0.0}, {0.01, 0.012}, {0.05, 0.022}, {0.06, 0.0}};
+    TriSurface n = make_body_of_revolution(prof, 10 * r);
+    n.translate(at);
+    return n;
+  };
+  assembly.append(nozzle({0.80, 0.0, 0.16}));
+  assembly.append(nozzle({0.80, -0.025, 0.125}));
+  assembly.append(nozzle({0.80, 0.025, 0.125}));
+  assembly.append(nozzle({0.95, 0.13, 0.0}));
+  assembly.append(nozzle({0.95, -0.13, 0.0}));
+
+  return assembly;
+}
+
+TriSurface make_transport(bool with_nacelle, int resolution) {
+  COLUMBIA_REQUIRE(resolution >= 1);
+  const int r = resolution;
+  TriSurface assembly;
+
+  // Fuselage.
+  TriSurface fus = make_rocket_body(1.0, 0.05, 0.18, 0.28, 16 * r, 20 * r);
+  assembly.append(fus);
+
+  // Main wing through the fuselage.
+  WingSpec wing;
+  wing.span = 0.9;
+  wing.root_chord = 0.22;
+  wing.tip_chord = 0.08;
+  wing.sweep = 0.18;
+  wing.thickness = 0.11;
+  wing.n_span = 12 * r;
+  wing.n_chord = 12 * r;
+  TriSurface w = make_wing(wing);
+  w.translate({0.38, 0.0, 0.0});
+  assembly.append(w);
+
+  if (with_nacelle) {
+    // Engine nacelles under each wing (Fig. 13b): stubby closed bodies.
+    for (int side = -1; side <= 1; side += 2) {
+      TriSurface nac = make_rocket_body(0.16, 0.028, 0.3, 0.25, 10 * r, 10 * r);
+      nac.translate({0.40, real_t(side) * 0.25, -0.055});
+      assembly.append(nac);
+    }
+  }
+  return assembly;
+}
+
+}  // namespace columbia::geom

@@ -1,0 +1,64 @@
+// Analytic watertight component builders.
+//
+// The paper's test articles are component assemblies: a transport
+// wing/body (+nacelle) for NSU3D (Fig. 13) and the full Space Shuttle
+// Launch Vehicle — orbiter, external tank, two solid rocket boosters, five
+// engines and attach hardware — for Cart3D (Figs. 9, 12, 20). The paper's
+// geometry arrives from CAD; here we synthesize equivalent watertight
+// triangulations analytically so all downstream code paths (cut cells,
+// adaptation, SFC partitioning, control-surface deflection) are exercised
+// with realistic component counts and surface densities.
+#pragma once
+
+#include "geom/surface.hpp"
+
+namespace columbia::geom {
+
+/// Closed UV-sphere (poles triangulated as fans).
+TriSurface make_sphere(const Vec3& center, real_t radius, int n_theta = 16,
+                       int n_phi = 32);
+
+/// Axis-aligned box as 12 triangles, outward-oriented.
+TriSurface make_box(const Vec3& lo, const Vec3& hi);
+
+/// Closed body of revolution around the +x axis. `profile` holds
+/// (x, radius) pairs with radius >= 0; the first and last entries are
+/// closed with pole fans (radius forced to 0 there).
+TriSurface make_body_of_revolution(std::span<const std::pair<real_t, real_t>> profile,
+                                   int n_seg = 24);
+
+/// Rocket-like body: ogive nose + cylinder + aft cone, length `length`,
+/// max radius `radius`, nose fraction / tail fraction of the length.
+TriSurface make_rocket_body(real_t length, real_t radius,
+                            real_t nose_frac = 0.25, real_t tail_frac = 0.1,
+                            int n_seg = 24, int n_axial = 24);
+
+struct WingSpec {
+  real_t span = 1.0;           // full span (y extent, centered at 0)
+  real_t root_chord = 0.3;
+  real_t tip_chord = 0.15;
+  real_t sweep = 0.1;          // x offset of tip leading edge
+  real_t thickness = 0.10;     // max t/c of the symmetric section
+  real_t flap_deflection = 0;  // radians; trailing 30% rotates about hinge
+  int n_span = 12;
+  int n_chord = 16;
+};
+
+/// Closed swept tapered wing with a symmetric (NACA-00xx-like) section.
+/// When `flap_deflection` is nonzero the aft 30% of every section is
+/// rotated about the hinge line before lofting — this reproduces the
+/// paper's automatic re-triangulation per control-surface setting (Fig. 8):
+/// the surface stays watertight at every deflection.
+TriSurface make_wing(const WingSpec& spec);
+
+/// Full SSLV-like assembly: external tank, two boosters, orbiter fuselage,
+/// orbiter wing (with elevon deflection), vertical tail, attach hardware.
+/// Components are labeled 0..N-1 in that order. The paper's SSLV surface
+/// has ~1.7M triangles; `resolution` scales triangle counts (1 => coarse).
+TriSurface make_sslv(real_t elevon_deflection_rad = 0.0, int resolution = 1);
+
+/// Transport wing/body configuration akin to the DPW case of Fig. 13;
+/// `with_nacelle` adds an engine nacelle component (Fig. 13b).
+TriSurface make_transport(bool with_nacelle = false, int resolution = 1);
+
+}  // namespace columbia::geom

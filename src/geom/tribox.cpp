@@ -1,0 +1,65 @@
+#include "geom/tribox.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace columbia::geom {
+
+namespace {
+
+/// Projects the three (box-centered) triangle vertices onto `axis` and
+/// tests against the box's projection radius. Returns true when the axis
+/// separates.
+bool axis_separates(const Vec3& v0, const Vec3& v1, const Vec3& v2,
+                    const Vec3& axis, const Vec3& half) {
+  const real_t p0 = dot(v0, axis);
+  const real_t p1 = dot(v1, axis);
+  const real_t p2 = dot(v2, axis);
+  const real_t r = half.x * std::abs(axis.x) + half.y * std::abs(axis.y) +
+                   half.z * std::abs(axis.z);
+  const real_t mn = std::min({p0, p1, p2});
+  const real_t mx = std::max({p0, p1, p2});
+  return mn > r || mx < -r;
+}
+
+}  // namespace
+
+bool triangle_box_overlap(const Vec3& a, const Vec3& b, const Vec3& c,
+                          const Aabb& box) {
+  const Vec3 center = box.center();
+  const Vec3 half = box.half_size();
+  const Vec3 v0 = a - center;
+  const Vec3 v1 = b - center;
+  const Vec3 v2 = c - center;
+
+  // 1) Box face normals (i.e. triangle AABB vs box).
+  if (std::min({v0.x, v1.x, v2.x}) > half.x ||
+      std::max({v0.x, v1.x, v2.x}) < -half.x)
+    return false;
+  if (std::min({v0.y, v1.y, v2.y}) > half.y ||
+      std::max({v0.y, v1.y, v2.y}) < -half.y)
+    return false;
+  if (std::min({v0.z, v1.z, v2.z}) > half.z ||
+      std::max({v0.z, v1.z, v2.z}) < -half.z)
+    return false;
+
+  const Vec3 e0 = v1 - v0;
+  const Vec3 e1 = v2 - v1;
+  const Vec3 e2 = v0 - v2;
+
+  // 2) Triangle normal.
+  if (axis_separates(v0, v1, v2, cross(e0, e1), half)) return false;
+
+  // 3) Nine edge cross products.
+  const Vec3 axes[3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const Vec3 edges[3] = {e0, e1, e2};
+  for (const Vec3& u : axes)
+    for (const Vec3& e : edges) {
+      const Vec3 ax = cross(u, e);
+      if (dot(ax, ax) < 1e-30) continue;  // parallel: axis degenerate
+      if (axis_separates(v0, v1, v2, ax, half)) return false;
+    }
+  return true;
+}
+
+}  // namespace columbia::geom

@@ -1,0 +1,18 @@
+// Triangle / axis-aligned-box overlap test.
+//
+// Cut-cell detection in the Cartesian mesh generator reduces to "does this
+// surface triangle intersect this hexahedral cell" (paper Sec. V). We use
+// the separating-axis test of Akenine-Moller (13 axes: 3 box normals, the
+// triangle normal, and 9 edge cross products).
+#pragma once
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace columbia::geom {
+
+/// True when triangle (a,b,c) and the box overlap (boundary touching counts).
+bool triangle_box_overlap(const Vec3& a, const Vec3& b, const Vec3& c,
+                          const Aabb& box);
+
+}  // namespace columbia::geom

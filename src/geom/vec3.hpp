@@ -1,0 +1,60 @@
+// 3D vector arithmetic.
+#pragma once
+
+#include <cmath>
+
+#include "support/types.hpp"
+
+namespace columbia::geom {
+
+struct Vec3 {
+  real_t x = 0, y = 0, z = 0;
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(real_t s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend Vec3 operator*(real_t s, Vec3 a) { return a *= s; }
+  friend Vec3 operator*(Vec3 a, real_t s) { return a *= s; }
+  friend Vec3 operator/(Vec3 a, real_t s) { return a *= (1.0 / s); }
+  friend Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  real_t operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+inline real_t dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline real_t norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+inline Vec3 normalized(const Vec3& a) {
+  const real_t n = norm(a);
+  return n > 0 ? a / n : a;
+}
+
+inline real_t distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+}  // namespace columbia::geom

@@ -1,0 +1,59 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace columbia::graph {
+
+std::vector<index_t> greedy_color(const Csr& g) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> color(std::size_t(n), kInvalidIndex);
+  std::vector<index_t> mark(std::size_t(g.max_degree()) + 1, kInvalidIndex);
+  for (index_t v = 0; v < n; ++v) {
+    for (index_t u : g.neighbors(v)) {
+      const index_t c = color[std::size_t(u)];
+      if (c >= 0 && c < index_t(mark.size())) mark[std::size_t(c)] = v;
+    }
+    index_t c = 0;
+    while (c < index_t(mark.size()) && mark[std::size_t(c)] == v) ++c;
+    color[std::size_t(v)] = c;
+  }
+  return color;
+}
+
+std::vector<index_t> color_edges(
+    index_t num_vertices,
+    std::span<const std::pair<index_t, index_t>> edges) {
+  // First-fit over edges: per vertex keep the set of colors already used by
+  // incident edges, as a bitmask grown on demand.
+  std::vector<std::vector<bool>> used(std::size_t(num_vertices),
+                                      std::vector<bool>{});
+  std::vector<index_t> color(edges.size(), kInvalidIndex);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [a, b] = edges[e];
+    COLUMBIA_REQUIRE(a >= 0 && a < num_vertices && b >= 0 && b < num_vertices);
+    auto& ua = used[std::size_t(a)];
+    auto& ub = used[std::size_t(b)];
+    index_t c = 0;
+    while (true) {
+      const bool a_used = std::size_t(c) < ua.size() && ua[std::size_t(c)];
+      const bool b_used = std::size_t(c) < ub.size() && ub[std::size_t(c)];
+      if (!a_used && !b_used) break;
+      ++c;
+    }
+    if (std::size_t(c) >= ua.size()) ua.resize(std::size_t(c) + 1, false);
+    if (std::size_t(c) >= ub.size()) ub.resize(std::size_t(c) + 1, false);
+    ua[std::size_t(c)] = ub[std::size_t(c)] = true;
+    color[e] = c;
+  }
+  return color;
+}
+
+index_t num_colors(std::span<const index_t> colors) {
+  index_t m = 0;
+  for (index_t c : colors) m = std::max(m, c + 1);
+  return m;
+}
+
+}  // namespace columbia::graph

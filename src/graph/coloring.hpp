@@ -1,0 +1,28 @@
+// Greedy graph coloring.
+//
+// On vector processors NSU3D colors the edge loop so that edges in one color
+// touch disjoint vertices and the accumulate-to-points loop vectorizes
+// (paper Sec. III). We color the *edge conflict graph* implicitly: two mesh
+// edges conflict when they share a vertex.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace columbia::graph {
+
+/// Greedy first-fit vertex coloring; returns one color id per vertex.
+/// Uses at most max_degree+1 colors.
+std::vector<index_t> greedy_color(const Csr& g);
+
+/// Colors mesh edges (given as endpoint pairs over `num_vertices` vertices)
+/// so no two edges of the same color share a vertex. Returns per-edge colors.
+std::vector<index_t> color_edges(
+    index_t num_vertices,
+    std::span<const std::pair<index_t, index_t>> edges);
+
+/// Number of distinct colors in a coloring.
+index_t num_colors(std::span<const index_t> colors);
+
+}  // namespace columbia::graph

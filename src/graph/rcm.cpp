@@ -1,0 +1,52 @@
+#include "graph/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace columbia::graph {
+
+std::vector<index_t> reverse_cuthill_mckee(const Csr& g) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> order;
+  order.reserve(std::size_t(n));
+  std::vector<bool> visited(std::size_t(n), false);
+
+  // Vertices sorted by degree: component restarts pick the lowest-degree
+  // unvisited vertex, the classic pseudo-peripheral heuristic.
+  std::vector<index_t> by_degree(std::size_t(n), 0);
+  for (index_t i = 0; i < n; ++i) by_degree[std::size_t(i)] = i;
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](index_t a, index_t b) { return g.degree(a) < g.degree(b); });
+
+  std::vector<index_t> nbr_buf;
+  std::size_t scan = 0;
+  while (index_t(order.size()) < n) {
+    while (visited[std::size_t(by_degree[scan])]) ++scan;
+    const index_t root = by_degree[scan];
+    visited[std::size_t(root)] = true;
+    std::queue<index_t> q;
+    q.push(root);
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      order.push_back(v);
+      nbr_buf.clear();
+      for (index_t u : g.neighbors(v))
+        if (!visited[std::size_t(u)]) {
+          visited[std::size_t(u)] = true;
+          nbr_buf.push_back(u);
+        }
+      std::sort(nbr_buf.begin(), nbr_buf.end(), [&](index_t a, index_t b) {
+        return g.degree(a) < g.degree(b);
+      });
+      for (index_t u : nbr_buf) q.push(u);
+    }
+  }
+
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace columbia::graph

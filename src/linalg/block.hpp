@@ -1,0 +1,185 @@
+// Fixed-size dense blocks used by the implicit solvers.
+//
+// NSU3D stores six unknowns per grid point (density, momentum x3, energy,
+// turbulence working variable), so the point-implicit and line-implicit
+// schemes invert dense 6x6 blocks at every point (paper Sec. III). Cart3D
+// carries five unknowns per cell. Both sizes instantiate the same templates.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace columbia::linalg {
+
+/// Dense fixed-size column vector.
+template <int N>
+struct BlockVec {
+  std::array<real_t, N> v{};
+
+  real_t& operator[](int i) { return v[std::size_t(i)]; }
+  real_t operator[](int i) const { return v[std::size_t(i)]; }
+
+  BlockVec& operator+=(const BlockVec& o) {
+    for (int i = 0; i < N; ++i) v[std::size_t(i)] += o[i];
+    return *this;
+  }
+  BlockVec& operator-=(const BlockVec& o) {
+    for (int i = 0; i < N; ++i) v[std::size_t(i)] -= o[i];
+    return *this;
+  }
+  BlockVec& operator*=(real_t s) {
+    for (int i = 0; i < N; ++i) v[std::size_t(i)] *= s;
+    return *this;
+  }
+
+  friend BlockVec operator+(BlockVec a, const BlockVec& b) { return a += b; }
+  friend BlockVec operator-(BlockVec a, const BlockVec& b) { return a -= b; }
+  friend BlockVec operator*(real_t s, BlockVec a) { return a *= s; }
+
+  real_t norm2() const {
+    real_t s = 0;
+    for (int i = 0; i < N; ++i) s += v[std::size_t(i)] * v[std::size_t(i)];
+    return std::sqrt(s);
+  }
+};
+
+/// Dense fixed-size row-major matrix with in-place LU (partial pivoting).
+template <int N>
+struct BlockMat {
+  std::array<real_t, std::size_t(N) * N> a{};
+
+  real_t& operator()(int r, int c) { return a[std::size_t(r) * N + c]; }
+  real_t operator()(int r, int c) const { return a[std::size_t(r) * N + c]; }
+
+  static BlockMat identity() {
+    BlockMat m;
+    for (int i = 0; i < N; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  static BlockMat diagonal(real_t d) {
+    BlockMat m;
+    for (int i = 0; i < N; ++i) m(i, i) = d;
+    return m;
+  }
+
+  BlockMat& operator+=(const BlockMat& o) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += o.a[i];
+    return *this;
+  }
+  BlockMat& operator-=(const BlockMat& o) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] -= o.a[i];
+    return *this;
+  }
+  BlockMat& operator*=(real_t s) {
+    for (auto& x : a) x *= s;
+    return *this;
+  }
+  friend BlockMat operator+(BlockMat x, const BlockMat& y) { return x += y; }
+  friend BlockMat operator-(BlockMat x, const BlockMat& y) { return x -= y; }
+  friend BlockMat operator*(real_t s, BlockMat x) { return x *= s; }
+
+  friend BlockMat operator*(const BlockMat& x, const BlockMat& y) {
+    BlockMat r;
+    for (int i = 0; i < N; ++i)
+      for (int k = 0; k < N; ++k) {
+        const real_t xi = x(i, k);
+        for (int j = 0; j < N; ++j) r(i, j) += xi * y(k, j);
+      }
+    return r;
+  }
+
+  friend BlockVec<N> operator*(const BlockMat& m, const BlockVec<N>& x) {
+    BlockVec<N> r;
+    for (int i = 0; i < N; ++i) {
+      real_t s = 0;
+      for (int j = 0; j < N; ++j) s += m(i, j) * x[j];
+      r[i] = s;
+    }
+    return r;
+  }
+
+  real_t max_abs() const {
+    real_t m = 0;
+    for (real_t x : a) m = std::max(m, std::abs(x));
+    return m;
+  }
+};
+
+/// LU factorization with partial pivoting, stored compactly.
+///
+/// Factor once per nonlinear iteration, then apply to many right-hand
+/// sides — exactly the access pattern of the block-Jacobi smoother.
+template <int N>
+class BlockLU {
+ public:
+  BlockLU() = default;
+
+  /// Factors `m`. Returns false when a pivot falls below `tiny` (singular
+  /// to working precision); the factorization must not be used then.
+  bool factor(const BlockMat<N>& m, real_t tiny = 1e-300) {
+    lu_ = m;
+    for (int i = 0; i < N; ++i) piv_[std::size_t(i)] = i;
+    for (int col = 0; col < N; ++col) {
+      int p = col;
+      real_t best = std::abs(lu_(col, col));
+      for (int r = col + 1; r < N; ++r) {
+        const real_t v = std::abs(lu_(r, col));
+        if (v > best) {
+          best = v;
+          p = r;
+        }
+      }
+      if (best < tiny) return false;
+      if (p != col) {
+        for (int c = 0; c < N; ++c) std::swap(lu_(p, c), lu_(col, c));
+        std::swap(piv_[std::size_t(p)], piv_[std::size_t(col)]);
+      }
+      const real_t inv = 1.0 / lu_(col, col);
+      for (int r = col + 1; r < N; ++r) {
+        const real_t f = lu_(r, col) * inv;
+        lu_(r, col) = f;
+        for (int c = col + 1; c < N; ++c) lu_(r, c) -= f * lu_(col, c);
+      }
+    }
+    return true;
+  }
+
+  /// Solves L U x = P b.
+  BlockVec<N> solve(const BlockVec<N>& b) const {
+    BlockVec<N> x;
+    for (int i = 0; i < N; ++i) x[i] = b[piv_[std::size_t(i)]];
+    for (int i = 1; i < N; ++i) {
+      real_t s = x[i];
+      for (int j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+      x[i] = s;
+    }
+    for (int i = N - 1; i >= 0; --i) {
+      real_t s = x[i];
+      for (int j = i + 1; j < N; ++j) s -= lu_(i, j) * x[j];
+      x[i] = s / lu_(i, i);
+    }
+    return x;
+  }
+
+  /// Solves for a matrix right-hand side column by column: X = A^{-1} B.
+  BlockMat<N> solve(const BlockMat<N>& b) const {
+    BlockMat<N> x;
+    for (int c = 0; c < N; ++c) {
+      BlockVec<N> col;
+      for (int r = 0; r < N; ++r) col[r] = b(r, c);
+      const BlockVec<N> sol = solve(col);
+      for (int r = 0; r < N; ++r) x(r, c) = sol[r];
+    }
+    return x;
+  }
+
+ private:
+  BlockMat<N> lu_;
+  std::array<int, N> piv_{};
+};
+
+}  // namespace columbia::linalg

@@ -1,0 +1,267 @@
+#include "mesh/builders.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mesh/dual_metrics.hpp"
+#include "support/assert.hpp"
+
+namespace columbia::mesh {
+
+namespace {
+
+constexpr real_t kPi = std::numbers::pi_v<real_t>;
+
+/// Standard 6-tet decomposition of a hex around the 0-6 diagonal. Applied
+/// uniformly to a structured grid it is conforming: shared quad faces are
+/// cut along the same spatial diagonal on both sides.
+constexpr int kHexToTets[6][4] = {{0, 1, 2, 6}, {0, 2, 3, 6}, {0, 3, 7, 6},
+                                  {0, 7, 4, 6}, {0, 4, 5, 6}, {0, 5, 1, 6}};
+
+Element make_tet(index_t a, index_t b, index_t c, index_t d) {
+  Element e;
+  e.type = ElementType::Tet;
+  e.nodes = {a, b, c, d, -1, -1, -1, -1};
+  return e;
+}
+
+Element make_hex(const std::array<index_t, 8>& n) {
+  Element e;
+  e.type = ElementType::Hex;
+  e.nodes = n;
+  return e;
+}
+
+Element make_prism(index_t a, index_t b, index_t c, index_t d, index_t e_,
+                   index_t f) {
+  Element e;
+  e.type = ElementType::Prism;
+  e.nodes = {a, b, c, d, e_, f, -1, -1};
+  return e;
+}
+
+void add_boundary_quad(UnstructuredMesh& m, index_t a, index_t b, index_t c,
+                       index_t d, BoundaryTag tag) {
+  BoundaryFace f;
+  f.n = 4;
+  f.nodes = {a, b, c, d};
+  f.tag = tag;
+  m.boundary.push_back(f);
+}
+
+/// NACA-00xx half thickness (closed trailing edge).
+real_t naca_t(real_t t, real_t x) {
+  const real_t s = std::sqrt(x);
+  return 5.0 * t *
+         (0.2969 * s - 0.1260 * x - 0.3516 * x * x + 0.2843 * x * x * x -
+          0.1036 * x * x * x * x);
+}
+
+}  // namespace
+
+UnstructuredMesh make_box_mesh(int nx, int ny, int nz, const geom::Vec3& lo,
+                               const geom::Vec3& hi, bool tetrahedralize,
+                               BoundaryTag tag) {
+  COLUMBIA_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1);
+  UnstructuredMesh m;
+  const int px = nx + 1, py = ny + 1, pz = nz + 1;
+  auto id = [&](int i, int j, int k) {
+    return index_t((k * py + j) * px + i);
+  };
+  for (int k = 0; k < pz; ++k)
+    for (int j = 0; j < py; ++j)
+      for (int i = 0; i < px; ++i)
+        m.points.push_back({lo.x + (hi.x - lo.x) * real_t(i) / real_t(nx),
+                            lo.y + (hi.y - lo.y) * real_t(j) / real_t(ny),
+                            lo.z + (hi.z - lo.z) * real_t(k) / real_t(nz)});
+
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        const std::array<index_t, 8> n = {
+            id(i, j, k),         id(i + 1, j, k),     id(i + 1, j + 1, k),
+            id(i, j + 1, k),     id(i, j, k + 1),     id(i + 1, j, k + 1),
+            id(i + 1, j + 1, k + 1), id(i, j + 1, k + 1)};
+        if (tetrahedralize) {
+          for (const auto& t : kHexToTets)
+            m.elements.push_back(make_tet(n[std::size_t(t[0])], n[std::size_t(t[1])],
+                                          n[std::size_t(t[2])], n[std::size_t(t[3])]));
+        } else {
+          m.elements.push_back(make_hex(n));
+        }
+      }
+
+  // Boundary faces: for tet meshes emit the triangulated faces matching the
+  // hex decomposition diagonals; for hex meshes emit quads. Outward order.
+  auto add_face = [&](index_t a, index_t b, index_t c, index_t d) {
+    if (!tetrahedralize) {
+      add_boundary_quad(m, a, b, c, d, tag);
+    } else {
+      BoundaryFace f1{3, {a, b, c, -1}, tag}, f2{3, {a, c, d, -1}, tag};
+      m.boundary.push_back(f1);
+      m.boundary.push_back(f2);
+    }
+  };
+  // The 6-tet split cuts each exterior quad through specific diagonals; we
+  // must pick the triangulation that matches. Diagonals (in the local hex
+  // frame): bottom 0-2, top 4-6, front 0-5, back 3-6, right 1-6, left 0-7.
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      // bottom (z=lo, outward -z): quad (0,3,2,1) diag 0-2.
+      add_face(id(i, j, 0), id(i, j + 1, 0), id(i + 1, j + 1, 0),
+               id(i + 1, j, 0));
+      // top (z=hi, outward +z): quad (4,5,6,7) diag 4-6.
+      add_face(id(i, j, nz), id(i + 1, j, nz), id(i + 1, j + 1, nz),
+               id(i, j + 1, nz));
+    }
+  for (int k = 0; k < nz; ++k)
+    for (int i = 0; i < nx; ++i) {
+      // front (y=lo, outward -y): quad (0,1,5,4) diag 0-5.
+      add_face(id(i, 0, k), id(i + 1, 0, k), id(i + 1, 0, k + 1),
+               id(i, 0, k + 1));
+      // back (y=hi, outward +y): quad (2,3,7,6) diag 3-6 => start at 3.
+      add_face(id(i, ny, k), id(i, ny, k + 1), id(i + 1, ny, k + 1),
+               id(i + 1, ny, k));
+    }
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < ny; ++j) {
+      // left (x=lo, outward -x): quad (3,0,4,7) diag 0-7 => start at 0.
+      add_face(id(0, j, k), id(0, j, k + 1), id(0, j + 1, k + 1),
+               id(0, j + 1, k));
+      // right (x=hi, outward +x): quad (1,2,6,5) diag 1-6.
+      add_face(id(nx, j, k), id(nx, j + 1, k), id(nx, j + 1, k + 1),
+               id(nx, j, k + 1));
+    }
+  return m;
+}
+
+UnstructuredMesh make_wing_mesh(const WingMeshSpec& spec) {
+  COLUMBIA_REQUIRE(spec.n_wrap >= 8 && spec.n_span >= 1 && spec.n_normal >= 3);
+  COLUMBIA_REQUIRE(spec.wall_spacing > 0 &&
+                   spec.wall_spacing < spec.farfield_radius);
+  UnstructuredMesh m;
+
+  const int ni = spec.n_wrap;           // periodic
+  const int nj = spec.n_span + 1;       // point counts
+  const int nk = spec.n_normal + 1;
+  auto id = [&](int i, int j, int k) {
+    return index_t((k * nj + j) * ni + (i % ni));
+  };
+
+  // Geometric blending parameter t_k in [0,1]: t_1 fixes the wall spacing.
+  // Solve for ratio r in  t_k = (r^k - 1)/(r^K - 1)  such that
+  // t_1 * farfield_offset ~= wall_spacing. Bisection on r.
+  const int K = spec.n_normal;
+  const real_t offset0 = spec.farfield_radius;  // rough blend magnitude
+  auto t_of = [&](real_t r, int k) {
+    return r == 1.0 ? real_t(k) / real_t(K)
+                    : (std::pow(r, k) - 1.0) / (std::pow(r, K) - 1.0);
+  };
+  real_t rlo = 1.0001, rhi = 4.0;
+  for (int it = 0; it < 80; ++it) {
+    const real_t rm = 0.5 * (rlo + rhi);
+    if (t_of(rm, 1) * offset0 > spec.wall_spacing)
+      rlo = rm;
+    else
+      rhi = rm;
+  }
+  const real_t ratio = 0.5 * (rlo + rhi);
+
+  // Section loop (x around chord, z thickness), and its far circle.
+  for (int k = 0; k < nk; ++k) {
+    const real_t t = t_of(ratio, k);
+    for (int j = 0; j < nj; ++j) {
+      const real_t y = (real_t(j) / real_t(spec.n_span) - 0.5) * spec.span;
+      for (int i = 0; i < ni; ++i) {
+        // Wrap clockwise (s decreasing with i) so the (i, j, k) frame is
+        // right-handed and every element gets positive volume.
+        const real_t s = 2 * kPi * real_t(ni - i) / real_t(ni);
+        const real_t xbar = 0.5 * (1.0 + std::cos(s));
+        real_t zb = naca_t(spec.thickness, xbar);
+        if (s > kPi) zb = -zb;
+        const geom::Vec3 foil{xbar * spec.chord, y, zb * spec.chord};
+        const geom::Vec3 circle{
+            (0.5 + spec.farfield_radius * std::cos(s)) * spec.chord, y,
+            spec.farfield_radius * std::sin(s) * spec.chord};
+        m.points.push_back(foil + t * (circle - foil));
+      }
+    }
+  }
+
+  const int k_hex = std::max(1, int(std::lround(spec.hex_layer_fraction *
+                                                spec.n_normal)));
+  for (int k = 0; k < spec.n_normal; ++k)
+    for (int j = 0; j < spec.n_span; ++j)
+      for (int i = 0; i < ni; ++i) {
+        const std::array<index_t, 8> n = {
+            id(i, j, k),         id(i + 1, j, k),
+            id(i + 1, j + 1, k), id(i, j + 1, k),
+            id(i, j, k + 1),     id(i + 1, j, k + 1),
+            id(i + 1, j + 1, k + 1), id(i, j + 1, k + 1)};
+        if (k < k_hex) {
+          m.elements.push_back(make_hex(n));
+        } else {
+          // Prism split cutting the two j-faces along the 0-5 (= 3-6)
+          // diagonal; k-faces and wrap faces stay quads so the interface
+          // with the hex block below conforms.
+          m.elements.push_back(
+              make_prism(n[0], n[5], n[1], n[3], n[6], n[2]));
+          m.elements.push_back(
+              make_prism(n[0], n[4], n[5], n[3], n[7], n[6]));
+        }
+      }
+
+  // Boundary: wall at k=0 (outward = -k side: into the wing), farfield at
+  // k=K (outward = +k), symmetry at j ends. Prism-region j-faces are
+  // triangles cut along the 0-5 diagonal.
+  for (int j = 0; j < spec.n_span; ++j)
+    for (int i = 0; i < ni; ++i) {
+      // Wall: hex face (0,3,2,1) orientation (outward points below k=0).
+      add_boundary_quad(m, id(i, j, 0), id(i, j + 1, 0), id(i + 1, j + 1, 0),
+                        id(i + 1, j, 0), BoundaryTag::Wall);
+      // Farfield: face (4,5,6,7) at k=K.
+      add_boundary_quad(m, id(i, j, K), id(i + 1, j, K), id(i + 1, j + 1, K),
+                        id(i, j + 1, K), BoundaryTag::Farfield);
+    }
+  for (int k = 0; k < spec.n_normal; ++k)
+    for (int i = 0; i < ni; ++i) {
+      const index_t a0 = id(i, 0, k), a1 = id(i + 1, 0, k),
+                    a5 = id(i + 1, 0, k + 1), a4 = id(i, 0, k + 1);
+      const index_t b2 = id(i + 1, spec.n_span, k), b3 = id(i, spec.n_span, k),
+                    b7 = id(i, spec.n_span, k + 1),
+                    b6 = id(i + 1, spec.n_span, k + 1);
+      if (k < k_hex) {
+        // front (j=0): hex face (0,1,5,4); back (j=end): face (2,3,7,6).
+        add_boundary_quad(m, a0, a1, a5, a4, BoundaryTag::Symmetry);
+        add_boundary_quad(m, b2, b3, b7, b6, BoundaryTag::Symmetry);
+      } else {
+        BoundaryFace f;
+        f.tag = BoundaryTag::Symmetry;
+        f.n = 3;
+        f.nodes = {a0, a1, a5, -1};
+        m.boundary.push_back(f);
+        f.nodes = {a0, a5, a4, -1};
+        m.boundary.push_back(f);
+        // Back face triangulated along the 3-6 diagonal (same spatial
+        // diagonal as the prisms' cut): triangles (2,3,6) and (3,7,6).
+        f.nodes = {b2, b3, b6, -1};
+        m.boundary.push_back(f);
+        f.nodes = {b3, b7, b6, -1};
+        m.boundary.push_back(f);
+      }
+    }
+  return m;
+}
+
+MeshStats compute_stats(const UnstructuredMesh& m) {
+  MeshStats st;
+  st.points = m.num_points();
+  st.elements_by_type = m.element_counts();
+  st.total_volume = m.total_volume();
+  const DualMetrics dm = compute_dual_metrics(m);
+  st.edges = dm.num_edges();
+  st.max_aspect_ratio = dm.max_anisotropy(m);
+  return st;
+}
+
+}  // namespace columbia::mesh

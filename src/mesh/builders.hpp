@@ -1,0 +1,53 @@
+// Synthetic unstructured-mesh generators.
+//
+// The paper's NSU3D benchmarks run on hybrid viscous meshes around
+// transport configurations (Fig. 13): geometrically-stretched near-wall
+// layers (normal spacing ~1e-5 chord) under an isotropic outer region.
+// We synthesize topologically equivalent meshes analytically: the grids are
+// emitted as fully general unstructured element lists, so every downstream
+// code path (dual metrics, line extraction, agglomeration, partitioning,
+// the flow solver) treats them exactly as it would a CAD-generated mesh.
+#pragma once
+
+#include "mesh/unstructured.hpp"
+
+namespace columbia::mesh {
+
+/// Uniform box mesh [lo,hi] with nx*ny*nz cells.
+/// `tetrahedralize` splits every hex into 6 conforming tets.
+UnstructuredMesh make_box_mesh(int nx, int ny, int nz, const geom::Vec3& lo,
+                               const geom::Vec3& hi,
+                               bool tetrahedralize = false,
+                               BoundaryTag tag = BoundaryTag::Farfield);
+
+struct WingMeshSpec {
+  int n_wrap = 32;     // points around the section (periodic)
+  int n_span = 8;      // spanwise cells
+  int n_normal = 16;   // layers from wall to farfield
+  real_t chord = 1.0;
+  real_t span = 4.0;
+  real_t thickness = 0.12;      // section t/c
+  real_t farfield_radius = 10;  // in chords
+  real_t wall_spacing = 1e-4;   // first-layer height in chords
+  /// Fraction of normal layers kept hexahedral (the "prismatic" stretched
+  /// wall block); layers above are split into prisms.
+  real_t hex_layer_fraction = 0.5;
+};
+
+/// O-mesh around a constant-chord wing section, extruded in span.
+/// Near-wall layers are hexahedra with geometric stretching (first spacing
+/// spec.wall_spacing); the outer block is prisms. Boundary tags: the wing
+/// surface is Wall, the outer shell Farfield, the span ends Symmetry.
+UnstructuredMesh make_wing_mesh(const WingMeshSpec& spec);
+
+struct MeshStats {
+  index_t points = 0;
+  index_t edges = 0;
+  std::array<index_t, 4> elements_by_type{};  // tet, pyramid, prism, hex
+  real_t max_aspect_ratio = 0;                // worst nodal coupling ratio
+  real_t total_volume = 0;
+};
+
+MeshStats compute_stats(const UnstructuredMesh& m);
+
+}  // namespace columbia::mesh

@@ -1,0 +1,243 @@
+#include "mesh/dual_metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace columbia::mesh {
+
+namespace {
+
+using geom::Vec3;
+
+/// Area vector of triangle (a,b,c) = 0.5 (b-a) x (c-a).
+Vec3 tri_area(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return 0.5 * cross(b - a, c - a);
+}
+
+/// (1/3) x_centroid . area — the divergence-theorem volume contribution of
+/// one oriented triangle.
+real_t tri_volume_term(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return dot((a + b + c) / 3.0, tri_area(a, b, c)) / 3.0;
+}
+
+std::uint64_t edge_key(index_t a, index_t b) {
+  const index_t lo = std::min(a, b), hi = std::max(a, b);
+  return (std::uint64_t(std::uint32_t(lo)) << 32) | std::uint32_t(hi);
+}
+
+}  // namespace
+
+DualMetrics compute_dual_metrics(const UnstructuredMesh& m) {
+  DualMetrics dm;
+  const index_t np = m.num_points();
+  dm.node_volume.assign(std::size_t(np), 0.0);
+  dm.boundary_normal.assign(std::size_t(np), {});
+
+  std::unordered_map<std::uint64_t, index_t> edge_id;
+  auto get_edge = [&](index_t a, index_t b) {
+    const auto [it, inserted] = edge_id.emplace(edge_key(a, b),
+                                                index_t(dm.edges.size()));
+    if (inserted) {
+      dm.edges.emplace_back(std::min(a, b), std::max(a, b));
+      dm.edge_normal.push_back({});
+    }
+    return it->second;
+  };
+
+  for (index_t ei = 0; ei < m.num_elements(); ++ei) {
+    const Element& e = m.elements[std::size_t(ei)];
+    const int nn = e.num_nodes();
+
+    Vec3 cc{};
+    for (int k = 0; k < nn; ++k) cc += m.points[std::size_t(e.nodes[std::size_t(k)])];
+    cc = cc / real_t(nn);
+
+    const auto faces = element_faces(e.type);
+    std::vector<Vec3> fcenters(faces.size());
+    for (std::size_t f = 0; f < faces.size(); ++f) {
+      Vec3 fc{};
+      for (int k = 0; k < faces[f].n; ++k)
+        fc += m.points[std::size_t(e.nodes[std::size_t(faces[f].v[std::size_t(k)])])];
+      fcenters[f] = fc / real_t(faces[f].n);
+    }
+
+    // Dual faces: for each element edge, the quad (edge mid, fc1, cc, fc2)
+    // where f1, f2 are the two element faces containing the edge.
+    for (const auto& le : element_edges(e.type)) {
+      const index_t a = e.nodes[std::size_t(le[0])];
+      const index_t b = e.nodes[std::size_t(le[1])];
+      const Vec3& pa = m.points[std::size_t(a)];
+      const Vec3& pb = m.points[std::size_t(b)];
+      const Vec3 emid = 0.5 * (pa + pb);
+
+      int found[2] = {-1, -1};
+      int nfound = 0;
+      for (std::size_t f = 0; f < faces.size() && nfound < 2; ++f) {
+        bool has_a = false, has_b = false;
+        for (int k = 0; k < faces[f].n; ++k) {
+          const int lv = faces[f].v[std::size_t(k)];
+          if (lv == le[0]) has_a = true;
+          if (lv == le[1]) has_b = true;
+        }
+        if (has_a && has_b) found[nfound++] = int(f);
+      }
+      COLUMBIA_ASSERT(nfound == 2);
+      const Vec3& fc1 = fcenters[std::size_t(found[0])];
+      const Vec3& fc2 = fcenters[std::size_t(found[1])];
+
+      // Quad (emid, fc1, cc, fc2) as two triangles; orient a -> b.
+      Vec3 n = tri_area(emid, fc1, cc) + tri_area(emid, cc, fc2);
+      if (dot(n, pb - pa) < 0) n = -1.0 * n;
+
+      const index_t eid = get_edge(a, b);
+      // dm.edges stores (min,max); accumulate in that orientation.
+      if (a < b)
+        dm.edge_normal[std::size_t(eid)] += n;
+      else
+        dm.edge_normal[std::size_t(eid)] -= n;
+
+      // Volume contributions: the dual face bounds a's subvolume (outward
+      // = a->b) and b's subvolume (outward = b->a). Use the divergence
+      // theorem on the two oriented triangles for each side.
+      const real_t va = tri_volume_term(emid, fc1, cc) +
+                        tri_volume_term(emid, cc, fc2);
+      real_t sign = dot(tri_area(emid, fc1, cc) + tri_area(emid, cc, fc2),
+                        pb - pa) < 0
+                        ? -1.0
+                        : 1.0;
+      dm.node_volume[std::size_t(a)] += sign * va;
+      dm.node_volume[std::size_t(b)] -= sign * va;
+    }
+
+    // Element-boundary pieces of the dual volumes: for every face and every
+    // vertex on it, the quad (vertex, mid(to next), face center, mid(to
+    // prev)), oriented outward like the face. Internal faces appear twice
+    // with opposite orientations and cancel in the *closure*, but their
+    // volume terms belong to this element's subvolumes and must be added.
+    for (std::size_t f = 0; f < faces.size(); ++f) {
+      const LocalFace& lf = faces[f];
+      for (int k = 0; k < lf.n; ++k) {
+        const int kprev = (k + lf.n - 1) % lf.n;
+        const int knext = (k + 1) % lf.n;
+        const index_t a = e.nodes[std::size_t(lf.v[std::size_t(k)])];
+        const Vec3& pa = m.points[std::size_t(a)];
+        const Vec3 mnext =
+            0.5 * (pa + m.points[std::size_t(e.nodes[std::size_t(lf.v[std::size_t(knext)])])]);
+        const Vec3 mprev =
+            0.5 * (pa + m.points[std::size_t(e.nodes[std::size_t(lf.v[std::size_t(kprev)])])]);
+        const Vec3& fc = fcenters[f];
+        dm.node_volume[std::size_t(a)] += tri_volume_term(pa, mnext, fc) +
+                                          tri_volume_term(pa, fc, mprev);
+      }
+    }
+  }
+
+  // Boundary closure: same per-vertex quads, from the tagged boundary faces.
+  for (const BoundaryFace& bf : m.boundary) {
+    Vec3 fc{};
+    for (int k = 0; k < bf.n; ++k) fc += m.points[std::size_t(bf.nodes[std::size_t(k)])];
+    fc = fc / real_t(bf.n);
+    for (int k = 0; k < bf.n; ++k) {
+      const int kprev = (k + bf.n - 1) % bf.n;
+      const int knext = (k + 1) % bf.n;
+      const index_t a = bf.nodes[std::size_t(k)];
+      const Vec3& pa = m.points[std::size_t(a)];
+      const Vec3 mnext = 0.5 * (pa + m.points[std::size_t(bf.nodes[std::size_t(knext)])]);
+      const Vec3 mprev = 0.5 * (pa + m.points[std::size_t(bf.nodes[std::size_t(kprev)])]);
+      const Vec3 n = tri_area(pa, mnext, fc) + tri_area(pa, fc, mprev);
+      dm.boundary_normal[std::size_t(a)][std::size_t(bf.tag)] += n;
+    }
+  }
+
+  // Approximate wall distance: multi-source Dijkstra from wall nodes along
+  // mesh edges. Adequate for the turbulence source terms of a benchmark.
+  dm.wall_distance.assign(std::size_t(np),
+                          std::numeric_limits<real_t>::infinity());
+  using Item = std::pair<real_t, index_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (index_t v = 0; v < np; ++v) {
+    const Vec3& wn = dm.boundary_normal[std::size_t(v)][std::size_t(BoundaryTag::Wall)];
+    if (dot(wn, wn) > 0) {
+      dm.wall_distance[std::size_t(v)] = 0.0;
+      pq.push({0.0, v});
+    }
+  }
+  // Build adjacency on the fly from the edge list.
+  std::vector<std::vector<std::pair<index_t, real_t>>> adj(
+      std::size_t(np), std::vector<std::pair<index_t, real_t>>{});
+  for (const auto& [a, b] : dm.edges) {
+    const real_t len = distance(m.points[std::size_t(a)], m.points[std::size_t(b)]);
+    adj[std::size_t(a)].push_back({b, len});
+    adj[std::size_t(b)].push_back({a, len});
+  }
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dm.wall_distance[std::size_t(v)]) continue;
+    for (const auto& [u, len] : adj[std::size_t(v)]) {
+      const real_t nd = d + len;
+      if (nd < dm.wall_distance[std::size_t(u)]) {
+        dm.wall_distance[std::size_t(u)] = nd;
+        pq.push({nd, u});
+      }
+    }
+  }
+  // No wall at all (e.g. pure farfield test boxes): distance = large.
+  for (real_t& d : dm.wall_distance)
+    if (!std::isfinite(d)) d = 1e10;
+
+  return dm;
+}
+
+std::vector<real_t> DualMetrics::edge_coupling(const UnstructuredMesh& m) const {
+  std::vector<real_t> w(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [a, b] = edges[e];
+    const real_t len =
+        distance(m.points[std::size_t(a)], m.points[std::size_t(b)]);
+    w[e] = len > 0 ? norm(edge_normal[e]) / len : 0.0;
+  }
+  return w;
+}
+
+real_t DualMetrics::max_anisotropy(const UnstructuredMesh& m) const {
+  const std::vector<real_t> w = edge_coupling(m);
+  std::vector<real_t> strongest(std::size_t(m.num_points()), 0.0);
+  std::vector<real_t> weakest(std::size_t(m.num_points()),
+                              std::numeric_limits<real_t>::infinity());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [a, b] = edges[e];
+    strongest[std::size_t(a)] = std::max(strongest[std::size_t(a)], w[e]);
+    strongest[std::size_t(b)] = std::max(strongest[std::size_t(b)], w[e]);
+    weakest[std::size_t(a)] = std::min(weakest[std::size_t(a)], w[e]);
+    weakest[std::size_t(b)] = std::min(weakest[std::size_t(b)], w[e]);
+  }
+  real_t ratio = 1.0;
+  for (index_t v = 0; v < m.num_points(); ++v) {
+    if (weakest[std::size_t(v)] > 0 &&
+        std::isfinite(weakest[std::size_t(v)]))
+      ratio = std::max(ratio, strongest[std::size_t(v)] / weakest[std::size_t(v)]);
+  }
+  return ratio;
+}
+
+real_t metric_closure_error(const UnstructuredMesh& m, const DualMetrics& dm) {
+  std::vector<geom::Vec3> residual(std::size_t(m.num_points()));
+  for (std::size_t e = 0; e < dm.edges.size(); ++e) {
+    const auto [a, b] = dm.edges[e];
+    residual[std::size_t(a)] += dm.edge_normal[e];
+    residual[std::size_t(b)] -= dm.edge_normal[e];
+  }
+  for (index_t v = 0; v < m.num_points(); ++v)
+    for (const geom::Vec3& bn : dm.boundary_normal[std::size_t(v)])
+      residual[std::size_t(v)] += bn;
+  real_t err = 0;
+  for (const geom::Vec3& r : residual) err = std::max(err, norm(r));
+  return err;
+}
+
+}  // namespace columbia::mesh

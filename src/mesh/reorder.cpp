@@ -1,0 +1,41 @@
+#include "mesh/reorder.hpp"
+
+#include "graph/csr.hpp"
+#include "graph/rcm.hpp"
+#include "mesh/dual_metrics.hpp"
+#include "support/assert.hpp"
+
+namespace columbia::mesh {
+
+ReorderResult reorder_for_cache(UnstructuredMesh& m) {
+  // Node adjacency from the mesh edges.
+  const DualMetrics dm = compute_dual_metrics(m);
+  const graph::Csr g = graph::Csr::from_edges(m.num_points(), dm.edges);
+
+  ReorderResult out;
+  out.mean_edge_span_before = graph::mean_edge_span(g);
+  out.perm = graph::reverse_cuthill_mckee(g);
+
+  // inverse[old] = new.
+  std::vector<index_t> inverse(std::size_t(m.num_points()));
+  for (index_t i = 0; i < m.num_points(); ++i)
+    inverse[std::size_t(out.perm[std::size_t(i)])] = i;
+
+  // Apply to points, elements, boundary faces.
+  std::vector<geom::Vec3> points(m.points.size());
+  for (index_t i = 0; i < m.num_points(); ++i)
+    points[std::size_t(i)] = m.points[std::size_t(out.perm[std::size_t(i)])];
+  m.points = std::move(points);
+  for (Element& e : m.elements)
+    for (int k = 0; k < e.num_nodes(); ++k)
+      e.nodes[std::size_t(k)] = inverse[std::size_t(e.nodes[std::size_t(k)])];
+  for (BoundaryFace& f : m.boundary)
+    for (int k = 0; k < f.n; ++k)
+      f.nodes[std::size_t(k)] = inverse[std::size_t(f.nodes[std::size_t(k)])];
+
+  out.mean_edge_span_after =
+      graph::mean_edge_span(graph::permute(g, out.perm));
+  return out;
+}
+
+}  // namespace columbia::mesh

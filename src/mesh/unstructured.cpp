@@ -1,0 +1,99 @@
+#include "mesh/unstructured.hpp"
+
+#include "support/assert.hpp"
+
+namespace columbia::mesh {
+
+namespace {
+
+// Canonical vertex numbering:
+//   Tet: 0-3 positively oriented (v1-v0, v2-v0, v3-v0 right-handed).
+//   Pyramid: quad base 0,1,2,3 (CCW seen from the apex side is *inward*,
+//            so the base face below lists it reversed), apex 4.
+//   Prism: bottom triangle 0,1,2 and top triangle 3,4,5 (aligned).
+//   Hex: bottom 0,1,2,3 (CCW seen from below = outward), top 4,5,6,7 above.
+
+constexpr LocalFace kTetFaces[] = {
+    {3, {0, 2, 1, -1}}, {3, {0, 1, 3, -1}}, {3, {1, 2, 3, -1}},
+    {3, {2, 0, 3, -1}}};
+
+constexpr LocalFace kPyramidFaces[] = {{4, {0, 3, 2, 1}},
+                                       {3, {0, 1, 4, -1}},
+                                       {3, {1, 2, 4, -1}},
+                                       {3, {2, 3, 4, -1}},
+                                       {3, {3, 0, 4, -1}}};
+
+constexpr LocalFace kPrismFaces[] = {{3, {0, 2, 1, -1}},
+                                     {3, {3, 4, 5, -1}},
+                                     {4, {0, 1, 4, 3}},
+                                     {4, {1, 2, 5, 4}},
+                                     {4, {2, 0, 3, 5}}};
+
+constexpr LocalFace kHexFaces[] = {{4, {0, 3, 2, 1}}, {4, {4, 5, 6, 7}},
+                                   {4, {0, 1, 5, 4}}, {4, {1, 2, 6, 5}},
+                                   {4, {2, 3, 7, 6}}, {4, {3, 0, 4, 7}}};
+
+constexpr std::array<int, 2> kTetEdges[] = {{0, 1}, {0, 2}, {0, 3},
+                                            {1, 2}, {1, 3}, {2, 3}};
+constexpr std::array<int, 2> kPyramidEdges[] = {{0, 1}, {1, 2}, {2, 3}, {3, 0},
+                                                {0, 4}, {1, 4}, {2, 4}, {3, 4}};
+constexpr std::array<int, 2> kPrismEdges[] = {{0, 1}, {1, 2}, {2, 0},
+                                              {3, 4}, {4, 5}, {5, 3},
+                                              {0, 3}, {1, 4}, {2, 5}};
+constexpr std::array<int, 2> kHexEdges[] = {{0, 1}, {1, 2}, {2, 3}, {3, 0},
+                                            {4, 5}, {5, 6}, {6, 7}, {7, 4},
+                                            {0, 4}, {1, 5}, {2, 6}, {3, 7}};
+
+}  // namespace
+
+std::span<const LocalFace> element_faces(ElementType t) {
+  switch (t) {
+    case ElementType::Tet: return kTetFaces;
+    case ElementType::Pyramid: return kPyramidFaces;
+    case ElementType::Prism: return kPrismFaces;
+    case ElementType::Hex: return kHexFaces;
+  }
+  return {};
+}
+
+std::span<const std::array<int, 2>> element_edges(ElementType t) {
+  switch (t) {
+    case ElementType::Tet: return kTetEdges;
+    case ElementType::Pyramid: return kPyramidEdges;
+    case ElementType::Prism: return kPrismEdges;
+    case ElementType::Hex: return kHexEdges;
+  }
+  return {};
+}
+
+std::array<index_t, 4> UnstructuredMesh::element_counts() const {
+  std::array<index_t, 4> c{};
+  for (const Element& e : elements) ++c[std::size_t(e.type)];
+  return c;
+}
+
+real_t UnstructuredMesh::element_volume(index_t ei) const {
+  // Divergence theorem over the element's faces with centroid fans:
+  // V = (1/3) sum over boundary triangles of centroid . n_scaled / 2.
+  const Element& e = elements[std::size_t(ei)];
+  real_t v6 = 0;  // six times the volume
+  for (const LocalFace& f : element_faces(e.type)) {
+    const geom::Vec3& p0 = points[std::size_t(e.nodes[std::size_t(f.v[0])])];
+    for (int k = 1; k + 1 < f.n; ++k) {
+      const geom::Vec3& p1 =
+          points[std::size_t(e.nodes[std::size_t(f.v[std::size_t(k)])])];
+      const geom::Vec3& p2 =
+          points[std::size_t(e.nodes[std::size_t(f.v[std::size_t(k) + 1])])];
+      v6 += dot(p0, cross(p1, p2));
+    }
+  }
+  return v6 / 6.0;
+}
+
+real_t UnstructuredMesh::total_volume() const {
+  real_t v = 0;
+  for (index_t e = 0; e < num_elements(); ++e) v += element_volume(e);
+  return v;
+}
+
+}  // namespace columbia::mesh

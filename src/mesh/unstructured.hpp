@@ -1,0 +1,79 @@
+// Unstructured hybrid mesh representation.
+//
+// NSU3D operates on mixed-element meshes: high-aspect-ratio prismatic (or
+// hexahedral) layers near walls for the boundary layer, isotropic tetrahedra
+// in the outer field, pyramids in transition regions (paper Sec. III). The
+// solver itself is edge-based and node-centered; elements only matter for
+// building the median-dual metrics (see dual_metrics.hpp).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "support/types.hpp"
+
+namespace columbia::mesh {
+
+enum class ElementType : std::uint8_t { Tet, Pyramid, Prism, Hex };
+
+/// Number of vertices of each element type.
+constexpr int element_num_nodes(ElementType t) {
+  switch (t) {
+    case ElementType::Tet: return 4;
+    case ElementType::Pyramid: return 5;
+    case ElementType::Prism: return 6;
+    case ElementType::Hex: return 8;
+  }
+  return 0;
+}
+
+struct Element {
+  ElementType type;
+  std::array<index_t, 8> nodes;  // first element_num_nodes(type) valid
+
+  int num_nodes() const { return element_num_nodes(type); }
+};
+
+/// One face of the canonical element: up to 4 local vertex indices,
+/// ordered counter-clockwise seen from outside the element.
+struct LocalFace {
+  int n;
+  std::array<int, 4> v;
+};
+
+/// Canonical face tables (outward orientation).
+std::span<const LocalFace> element_faces(ElementType t);
+
+/// Canonical edge tables (local vertex index pairs).
+std::span<const std::array<int, 2>> element_edges(ElementType t);
+
+/// Boundary condition classes used by the flow solvers.
+enum class BoundaryTag : std::uint8_t { Wall, Farfield, Symmetry };
+
+struct BoundaryFace {
+  int n;                         // 3 or 4 vertices
+  std::array<index_t, 4> nodes;  // global, outward orientation
+  BoundaryTag tag;
+};
+
+struct UnstructuredMesh {
+  std::vector<geom::Vec3> points;
+  std::vector<Element> elements;
+  std::vector<BoundaryFace> boundary;
+
+  index_t num_points() const { return index_t(points.size()); }
+  index_t num_elements() const { return index_t(elements.size()); }
+
+  /// Counts per element type: [tet, pyramid, prism, hex].
+  std::array<index_t, 4> element_counts() const;
+
+  /// Geometric volume of an element (positive for valid orientation).
+  real_t element_volume(index_t e) const;
+
+  /// Sum of element volumes.
+  real_t total_volume() const;
+};
+
+}  // namespace columbia::mesh

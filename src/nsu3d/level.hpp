@@ -1,0 +1,65 @@
+// Multigrid level data for the agglomeration hierarchy.
+//
+// Level 0 carries the true median-dual metrics of the unstructured mesh;
+// coarser levels are built by recursive agglomeration (paper Figs. 2-3):
+// coarse control volumes are unions of fine ones, coarse edge normals are
+// the accumulated fine dual-face areas across agglomerate boundaries, and
+// boundary closures sum. The edge-based residual loop therefore runs
+// unchanged on every level.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "graph/lines.hpp"
+#include "mesh/dual_metrics.hpp"
+#include "mesh/unstructured.hpp"
+#include "support/types.hpp"
+
+namespace columbia::nsu3d {
+
+struct Level {
+  index_t num_nodes = 0;
+  std::vector<std::pair<index_t, index_t>> edges;  // a < b
+  std::vector<geom::Vec3> edge_normal;             // oriented a -> b
+  std::vector<real_t> edge_length;                 // |x_b - x_a| proxy
+  std::vector<real_t> node_volume;
+  std::vector<geom::Vec3> node_center;             // volume centroid proxy
+  /// Outward boundary closure per node, per BoundaryTag (Wall/Farfield/Sym).
+  std::vector<std::array<geom::Vec3, 3>> boundary_normal;
+  std::vector<real_t> wall_distance;
+
+  /// Implicit line set (fine level only has meaningful multi-node lines;
+  /// coarse levels carry singleton lines).
+  graph::LineSet lines;
+  /// For each node, index of its line and position within the line.
+  std::vector<index_t> line_of_node;
+  std::vector<index_t> pos_in_line;
+
+  /// Map to the next coarser level (empty on the coarsest).
+  std::vector<index_t> to_coarse;
+
+  /// Per-node incident edge lists (edge id, +1 if node is 'a' else -1).
+  std::vector<std::vector<std::pair<index_t, real_t>>> incident;
+
+  void build_incident();
+  bool is_wall_node(index_t v) const {
+    const geom::Vec3& n =
+        boundary_normal[std::size_t(v)][std::size_t(mesh::BoundaryTag::Wall)];
+    return dot(n, n) > 0;
+  }
+};
+
+struct LevelOptions {
+  int num_levels = 4;
+  /// Edge-coupling ratio above which an edge joins an implicit line.
+  real_t line_threshold = 4.0;
+};
+
+/// Builds the hierarchy: level 0 from the mesh's dual metrics, coarser
+/// levels by agglomerating the coupling-weighted graph.
+std::vector<Level> build_levels(const mesh::UnstructuredMesh& m,
+                                const LevelOptions& opt);
+
+}  // namespace columbia::nsu3d

@@ -1,0 +1,66 @@
+// Domain decomposition for the multigrid hierarchy.
+//
+// Paper Sec. III: each fine and coarse agglomerated level's adjacency graph
+// is partitioned independently (METIS in the paper; graph::partition here),
+// with the fine-level graph contracted along implicit lines so no line is
+// ever broken across a partition boundary (Fig. 6b). Coarse partitions are
+// then relabeled to maximally overlap the fine partitions. Edges straddling
+// partitions get ghost vertices (Fig. 6a); the halo exchange packs all
+// values destined for one neighbor into a single message.
+//
+// The same analysis produces, for every level, the work and communication
+// quantities the Columbia machine model consumes: per-partition work, halo
+// sizes, communication-graph degree, and the inter-grid transfer volume.
+#pragma once
+
+#include <vector>
+
+#include "nsu3d/level.hpp"
+#include "nsu3d/solver.hpp"
+#include "smp/runtime.hpp"
+
+namespace columbia::nsu3d {
+
+/// Per-level communication/work statistics for a P-way decomposition.
+struct LevelDecomposition {
+  index_t nparts = 0;
+  std::vector<index_t> part;      // per node
+  real_t max_part_nodes = 0;
+  real_t avg_part_nodes = 0;
+  index_t empty_parts = 0;        // paper Sec. VI: occurs on coarse levels
+  /// Halo exchange: per-part ghost counts (values received per exchange).
+  real_t max_ghost_nodes = 0;
+  real_t total_ghost_nodes = 0;
+  /// Degree of the partition communication graph (paper: max 18 fine).
+  index_t max_comm_degree = 0;
+  /// Inter-grid transfer to the next coarser level: number of fine nodes
+  /// whose agglomerate lives on another partition (paper: degree <= 19).
+  real_t intergrid_items = 0;       // total across partitions
+  real_t max_intergrid_items = 0;   // busiest partition
+  index_t intergrid_degree = 0;
+};
+
+struct PartitionPlan {
+  index_t nparts = 0;
+  std::vector<LevelDecomposition> levels;
+};
+
+/// Partitions every level of the hierarchy for `nparts` processors.
+PartitionPlan build_partition_plan(const std::vector<Level>& levels,
+                                   index_t nparts, std::uint64_t seed = 1);
+
+/// Verifies that no implicit line of the fine level is split by the plan.
+bool lines_unbroken(const Level& fine, std::span<const index_t> part);
+
+/// Parallel first-order residual evaluation over smp threads: partitions
+/// owned nodes per rank, exchanges ghost states (one packed message per
+/// neighbor pair, as in the paper), accumulates edge fluxes locally, then
+/// adds ghost contributions. Used to validate the halo machinery: the
+/// result must match the serial residual bit-for-bit up to summation order.
+std::vector<State> parallel_residual(const Level& lvl,
+                                     const std::vector<State>& u,
+                                     const euler::Prim& freestream,
+                                     std::span<const index_t> part,
+                                     index_t nparts);
+
+}  // namespace columbia::nsu3d

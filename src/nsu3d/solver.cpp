@@ -1,0 +1,717 @@
+#include "nsu3d/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "euler/jacobian.hpp"
+#include "linalg/block.hpp"
+#include "linalg/block_tridiag.hpp"
+#include "support/assert.hpp"
+
+namespace columbia::nsu3d {
+
+using euler::Prim;
+using geom::Vec3;
+using linalg::BlockLU;
+using linalg::BlockMat;
+using linalg::BlockVec;
+
+namespace {
+
+// Spalart-Allmaras closure constants (Spalart & Allmaras 1994; the paper's
+// reference [8]).
+constexpr real_t kCb1 = 0.1355;
+constexpr real_t kSigma = 2.0 / 3.0;
+constexpr real_t kCb2 = 0.622;
+constexpr real_t kKappa = 0.41;
+constexpr real_t kCw1 = kCb1 / (kKappa * kKappa) + (1.0 + kCb2) / kSigma;
+constexpr real_t kCw2 = 0.3;
+constexpr real_t kCw3 = 2.0;
+constexpr real_t kCv1 = 7.1;
+constexpr real_t kPrandtl = 0.72;
+constexpr real_t kPrandtlTurb = 0.9;
+
+Prim mean_prim(const State& u) {
+  const real_t inv = 1.0 / u[0];
+  const Vec3 vel{u[1] * inv, u[2] * inv, u[3] * inv};
+  const real_t p =
+      (euler::kGamma - 1) * (u[4] - 0.5 * u[0] * dot(vel, vel));
+  return {u[0], vel, p};
+}
+
+bool state_valid(const State& u) {
+  for (real_t x : u)
+    if (!std::isfinite(x)) return false;
+  if (!(u[0] > 0)) return false;
+  return mean_prim(u).p > 0;
+}
+
+/// Eddy viscosity from the SA working variable.
+real_t eddy_viscosity(real_t rho, real_t nut, real_t nu_lam) {
+  if (nut <= 0) return 0;
+  const real_t chi = nut / nu_lam;
+  const real_t chi3 = chi * chi * chi;
+  const real_t fv1 = chi3 / (chi3 + kCv1 * kCv1 * kCv1);
+  return rho * nut * fv1;
+}
+
+}  // namespace
+
+Nsu3dSolver::Nsu3dSolver(const mesh::UnstructuredMesh& m,
+                         const euler::FlowConditions& conditions,
+                         const Nsu3dOptions& options)
+    : opt_(options), cond_(conditions), freestream_(conditions.freestream()) {
+  COLUMBIA_REQUIRE(opt_.mg_levels >= 1);
+  mu_lam_ = cond_.mach / cond_.reynolds;  // nondimensional reference
+  nut_inf_ = opt_.viscous ? 3.0 * mu_lam_ / freestream_.rho : 0.0;
+
+  LevelOptions lo;
+  lo.num_levels = opt_.mg_levels;
+  lo.line_threshold = opt_.line_threshold;
+  levels_ = build_levels(m, lo);
+
+  const std::size_t nl = levels_.size();
+  state_.resize(nl);
+  forcing_.resize(nl);
+  residual_.resize(nl);
+  restricted_snapshot_.resize(nl);
+  State uinf{};
+  const euler::Cons c5 = euler::to_conservative(freestream_);
+  for (int k = 0; k < 5; ++k) uinf[std::size_t(k)] = c5[std::size_t(k)];
+  uinf[5] = freestream_.rho * nut_inf_;
+  for (std::size_t l = 0; l < nl; ++l) {
+    state_[l].assign(std::size_t(levels_[l].num_nodes), uinf);
+    forcing_[l].assign(std::size_t(levels_[l].num_nodes), State{});
+    residual_[l].assign(std::size_t(levels_[l].num_nodes), State{});
+  }
+  apply_strong_bcs(0, state_[0]);
+}
+
+void Nsu3dSolver::apply_strong_bcs(int l, std::vector<State>& u) const {
+  if (l != 0) return;  // strong conditions live on the true mesh
+  const Level& lvl = levels_[0];
+  for (index_t v = 0; v < lvl.num_nodes; ++v) {
+    if (opt_.viscous && lvl.is_wall_node(v)) {
+      // No-slip, nu~ = 0 at solid walls.
+      u[std::size_t(v)][1] = 0;
+      u[std::size_t(v)][2] = 0;
+      u[std::size_t(v)][3] = 0;
+      u[std::size_t(v)][5] = 0;
+      continue;
+    }
+    const Vec3& sn = lvl.boundary_normal[std::size_t(v)]
+                                        [std::size_t(mesh::BoundaryTag::Symmetry)];
+    const real_t s2 = dot(sn, sn);
+    if (s2 > 0) {
+      // Symmetry plane: remove the normal momentum component.
+      const Vec3 nh = sn / std::sqrt(s2);
+      Vec3 mom{u[std::size_t(v)][1], u[std::size_t(v)][2], u[std::size_t(v)][3]};
+      mom -= dot(mom, nh) * nh;
+      u[std::size_t(v)][1] = mom.x;
+      u[std::size_t(v)][2] = mom.y;
+      u[std::size_t(v)][3] = mom.z;
+    }
+  }
+}
+
+void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
+                                   std::vector<State>& res,
+                                   bool second_order) {
+  const Level& lvl = levels_[std::size_t(l)];
+  const std::size_t n = std::size_t(lvl.num_nodes);
+  res.assign(n, State{});
+
+  // Primitive caches.
+  std::vector<Prim> w(n);
+  std::vector<real_t> nut(n), mut(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = mean_prim(u[i]);
+    nut[i] = u[i][5] / u[i][0];
+    mut[i] = opt_.viscous
+                 ? eddy_viscosity(w[i].rho, nut[i], mu_lam_ / w[i].rho)
+                 : 0.0;
+  }
+
+  // Green-Gauss gradients of [rho, u, v, w, p, nut]: used for second-order
+  // reconstruction (fine level) and for the vorticity in the SA source.
+  const bool need_grad = second_order || opt_.viscous;
+  std::vector<std::array<Vec3, 6>> grad;
+  if (need_grad) {
+    grad.assign(n, {});
+    auto q_of = [&](std::size_t i, int c) -> real_t {
+      switch (c) {
+        case 0: return w[i].rho;
+        case 1: return w[i].vel.x;
+        case 2: return w[i].vel.y;
+        case 3: return w[i].vel.z;
+        case 4: return w[i].p;
+        default: return nut[i];
+      }
+    };
+    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+      const auto [a, b] = lvl.edges[e];
+      const Vec3& nrm = lvl.edge_normal[e];
+      for (int c = 0; c < 6; ++c) {
+        const real_t qf = 0.5 * (q_of(std::size_t(a), c) + q_of(std::size_t(b), c));
+        grad[std::size_t(a)][std::size_t(c)] += qf * nrm;
+        grad[std::size_t(b)][std::size_t(c)] -= qf * nrm;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3 bn{};
+      for (const Vec3& t : lvl.boundary_normal[i]) bn += t;
+      for (int c = 0; c < 6; ++c) {
+        grad[i][std::size_t(c)] += q_of(i, c) * bn;
+        grad[i][std::size_t(c)] =
+            grad[i][std::size_t(c)] / std::max(lvl.node_volume[i], real_t(1e-300));
+      }
+    }
+  }
+
+  // Venkatakrishnan limiter for the fine-level reconstruction.
+  std::vector<std::array<real_t, 6>> phi;
+  if (second_order) {
+    std::vector<std::array<real_t, 6>> qmin(n), qmax(n);
+    auto q_of = [&](std::size_t i, int c) -> real_t {
+      switch (c) {
+        case 0: return w[i].rho;
+        case 1: return w[i].vel.x;
+        case 2: return w[i].vel.y;
+        case 3: return w[i].vel.z;
+        case 4: return w[i].p;
+        default: return nut[i];
+      }
+    };
+    for (std::size_t i = 0; i < n; ++i)
+      for (int c = 0; c < 6; ++c)
+        qmin[i][std::size_t(c)] = qmax[i][std::size_t(c)] = q_of(i, c);
+    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+      const auto [a, b] = lvl.edges[e];
+      for (int c = 0; c < 6; ++c) {
+        const real_t qa = q_of(std::size_t(a), c), qb = q_of(std::size_t(b), c);
+        qmin[std::size_t(a)][std::size_t(c)] = std::min(qmin[std::size_t(a)][std::size_t(c)], qb);
+        qmax[std::size_t(a)][std::size_t(c)] = std::max(qmax[std::size_t(a)][std::size_t(c)], qb);
+        qmin[std::size_t(b)][std::size_t(c)] = std::min(qmin[std::size_t(b)][std::size_t(c)], qa);
+        qmax[std::size_t(b)][std::size_t(c)] = std::max(qmax[std::size_t(b)][std::size_t(c)], qa);
+      }
+    }
+    phi.assign(n, {1, 1, 1, 1, 1, 1});
+    auto venkat = [](real_t dplus, real_t dq, real_t eps2) {
+      const real_t num = (dplus * dplus + eps2) + 2.0 * dplus * dq;
+      const real_t den = dplus * dplus + 2.0 * dq * dq + dplus * dq + eps2;
+      return den > 0 ? num / den : 1.0;
+    };
+    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+      const auto [a, b] = lvl.edges[e];
+      const Vec3 dab = 0.5 * (lvl.node_center[std::size_t(b)] -
+                              lvl.node_center[std::size_t(a)]);
+      for (int side = 0; side < 2; ++side) {
+        const std::size_t i = std::size_t(side == 0 ? a : b);
+        const Vec3 d = side == 0 ? dab : -1.0 * dab;
+        const real_t h = lvl.edge_length[e];
+        const real_t eps2 = std::pow(0.3 * h, 3);
+        for (int c = 0; c < 6; ++c) {
+          const real_t dq = dot(grad[i][std::size_t(c)], d);
+          real_t lim = 1.0;
+          if (dq > 1e-14)
+            lim = venkat(qmax[i][std::size_t(c)] - q_of(i, c), dq, eps2);
+          else if (dq < -1e-14)
+            lim = venkat(q_of(i, c) - qmin[i][std::size_t(c)], -dq, eps2);
+          phi[i][std::size_t(c)] = std::min(phi[i][std::size_t(c)], lim);
+        }
+      }
+    }
+  }
+
+  auto reconstruct = [&](std::size_t i, const Vec3& d, real_t& nut_out) -> Prim {
+    nut_out = nut[i];
+    if (!second_order) return w[i];
+    std::array<real_t, 6> q{w[i].rho, w[i].vel.x, w[i].vel.y, w[i].vel.z,
+                            w[i].p, nut[i]};
+    for (int c = 0; c < 6; ++c)
+      q[std::size_t(c)] += phi[i][std::size_t(c)] *
+                           dot(grad[i][std::size_t(c)], d);
+    if (q[0] <= 0 || q[4] <= 0) return w[i];
+    nut_out = q[5];
+    return Prim{q[0], {q[1], q[2], q[3]}, q[4]};
+  };
+
+  // Edge loop: convective + viscous fluxes.
+  for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+    const auto [a, b] = lvl.edges[e];
+    const Vec3& nrm = lvl.edge_normal[e];
+    const real_t area = norm(nrm);
+    if (area <= 0) continue;
+    const Vec3 nh = nrm / area;
+
+    const Vec3 dab = 0.5 * (lvl.node_center[std::size_t(b)] -
+                            lvl.node_center[std::size_t(a)]);
+    real_t nut_l, nut_r;
+    const Prim wl = reconstruct(std::size_t(a), dab, nut_l);
+    const Prim wr = reconstruct(std::size_t(b), -1.0 * dab, nut_r);
+    const euler::Cons flux = euler::numerical_flux(wl, wr, nh, opt_.flux);
+    const real_t mdot = flux[0] * area;
+    const real_t fnut = mdot * (mdot >= 0 ? nut_l : nut_r);
+    for (int c = 0; c < 5; ++c) {
+      res[std::size_t(a)][std::size_t(c)] += area * flux[std::size_t(c)];
+      res[std::size_t(b)][std::size_t(c)] -= area * flux[std::size_t(c)];
+    }
+    res[std::size_t(a)][5] += fnut;
+    res[std::size_t(b)][5] -= fnut;
+
+    if (opt_.viscous && lvl.edge_length[e] > 0) {
+      const real_t geo = area / lvl.edge_length[e];
+      const real_t mu_m = mu_lam_ + 0.5 * (mut[std::size_t(a)] + mut[std::size_t(b)]);
+      const real_t cm = mu_m * geo;
+      const Vec3 dv = wr.vel - wl.vel;  // reconstructed == nodal when 1st order
+      const Vec3 dvel = w[std::size_t(b)].vel - w[std::size_t(a)].vel;
+      (void)dv;
+      res[std::size_t(a)][1] -= cm * dvel.x;
+      res[std::size_t(a)][2] -= cm * dvel.y;
+      res[std::size_t(a)][3] -= cm * dvel.z;
+      res[std::size_t(b)][1] += cm * dvel.x;
+      res[std::size_t(b)][2] += cm * dvel.y;
+      res[std::size_t(b)][3] += cm * dvel.z;
+      // Shear work + conduction lumped into an energy Laplacian with the
+      // thermal coefficient (thin-layer approximation).
+      const real_t ck = (mu_lam_ / kPrandtl +
+                         0.5 * (mut[std::size_t(a)] + mut[std::size_t(b)]) / kPrandtlTurb) *
+                        euler::kGamma / (euler::kGamma - 1) * geo;
+      const real_t dT = w[std::size_t(b)].p / w[std::size_t(b)].rho -
+                        w[std::size_t(a)].p / w[std::size_t(a)].rho;
+      // Mean kinetic-energy transport by shear.
+      const Vec3 vm = 0.5 * (w[std::size_t(a)].vel + w[std::size_t(b)].vel);
+      const real_t dke = dot(vm, dvel);
+      res[std::size_t(a)][4] -= ck * dT + cm * dke;
+      res[std::size_t(b)][4] += ck * dT + cm * dke;
+      // SA diffusion: (1/sigma) rho (nu + nu~) grad nu~.
+      const real_t rho_m = 0.5 * (w[std::size_t(a)].rho + w[std::size_t(b)].rho);
+      const real_t nu_m = mu_lam_ / rho_m;
+      const real_t nut_m = 0.5 * (nut[std::size_t(a)] + nut[std::size_t(b)]);
+      const real_t cs = rho_m * (nu_m + std::max<real_t>(nut_m, 0)) / kSigma * geo;
+      const real_t dnt = nut[std::size_t(b)] - nut[std::size_t(a)];
+      res[std::size_t(a)][5] -= cs * dnt;
+      res[std::size_t(b)][5] += cs * dnt;
+    }
+  }
+
+  // Boundary closures.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& fn =
+        lvl.boundary_normal[i][std::size_t(mesh::BoundaryTag::Farfield)];
+    const real_t fa = norm(fn);
+    if (fa > 0) {
+      const Vec3 nh = fn / fa;
+      const euler::Cons flux =
+          euler::farfield_flux(w[i], freestream_, nh, opt_.flux);
+      for (int c = 0; c < 5; ++c)
+        res[i][std::size_t(c)] += fa * flux[std::size_t(c)];
+      const real_t mdot = flux[0] * fa;
+      res[i][5] += mdot * (mdot >= 0 ? nut[i] : nut_inf_);
+    }
+    for (mesh::BoundaryTag tag :
+         {mesh::BoundaryTag::Wall, mesh::BoundaryTag::Symmetry}) {
+      const Vec3& bn = lvl.boundary_normal[i][std::size_t(tag)];
+      if (dot(bn, bn) > 0) {
+        const euler::Cons flux = euler::wall_flux(w[i], bn);
+        for (int c = 0; c < 5; ++c) res[i][std::size_t(c)] += flux[std::size_t(c)];
+      }
+    }
+  }
+
+  // Strongly-constrained components carry no residual: their equations are
+  // replaced by the Dirichlet projection (apply_strong_bcs). Leaving them
+  // in would poison the FAS coarse-grid forcing with residuals the fine
+  // grid never drives to zero.
+  if (l == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (opt_.viscous && lvl.is_wall_node(index_t(i))) {
+        res[i][1] = res[i][2] = res[i][3] = 0;
+        res[i][5] = 0;
+        continue;
+      }
+      const Vec3& sn =
+          lvl.boundary_normal[i][std::size_t(mesh::BoundaryTag::Symmetry)];
+      const real_t s2 = dot(sn, sn);
+      if (s2 > 0) {
+        const Vec3 nh = sn / std::sqrt(s2);
+        Vec3 rm{res[i][1], res[i][2], res[i][3]};
+        rm -= dot(rm, nh) * nh;
+        res[i][1] = rm.x;
+        res[i][2] = rm.y;
+        res[i][3] = rm.z;
+      }
+    }
+  }
+
+  // SA source terms (production - destruction), volume-scaled.
+  if (opt_.viscous) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const real_t d = std::max(lvl.wall_distance[i], real_t(1e-8));
+      const real_t nu = mu_lam_ / w[i].rho;
+      const real_t nt = std::max<real_t>(nut[i], 0);
+      // Vorticity magnitude from the Green-Gauss velocity gradients.
+      const Vec3 gx = grad[i][1], gy = grad[i][2], gz = grad[i][3];
+      const Vec3 omega{gz.y - gy.z, gx.z - gz.x, gy.x - gx.y};
+      const real_t s = norm(omega);
+      const real_t chi = nt / nu;
+      const real_t chi3 = chi * chi * chi;
+      const real_t fv1 = chi3 / (chi3 + kCv1 * kCv1 * kCv1);
+      const real_t fv2 = 1.0 - chi / (1.0 + chi * fv1);
+      const real_t k2d2 = kKappa * kKappa * d * d;
+      real_t stilde = s + nt / k2d2 * fv2;
+      stilde = std::max(stilde, real_t(0.3) * s);
+      const real_t prod = kCb1 * stilde * w[i].rho * nt;
+      real_t r = stilde > 0 ? nt / (stilde * k2d2) : 10.0;
+      r = std::min(r, real_t(10.0));
+      const real_t g = r + kCw2 * (std::pow(r, 6) - r);
+      const real_t c6 = std::pow(kCw3, 6);
+      const real_t fw = g * std::pow((1.0 + c6) / (std::pow(g, 6) + c6),
+                                     1.0 / 6.0);
+      const real_t destr = kCw1 * fw * w[i].rho * (nt / d) * (nt / d);
+      res[i][5] += lvl.node_volume[i] * (destr - prod);
+    }
+  }
+}
+
+void Nsu3dSolver::smooth(int l, int steps) {
+  const Level& lvl = levels_[std::size_t(l)];
+  std::vector<State>& u = state_[std::size_t(l)];
+  const std::vector<State>& f = forcing_[std::size_t(l)];
+  const std::size_t n = std::size_t(lvl.num_nodes);
+  const bool second = opt_.second_order && l == 0;
+  const bool lines = opt_.smoother == SmootherKind::LineImplicit;
+
+  for (int step = 0; step < steps; ++step) {
+    compute_residual(l, u, residual_[std::size_t(l)], second);
+    std::vector<State>& r = residual_[std::size_t(l)];
+
+    // Primitive cache + wave-speed sums for local time steps.
+    std::vector<Prim> w(n);
+    std::vector<real_t> nut(n), mut(n), wave(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = mean_prim(u[i]);
+      nut[i] = u[i][5] / u[i][0];
+      mut[i] = opt_.viscous
+                   ? eddy_viscosity(w[i].rho, nut[i], mu_lam_ / w[i].rho)
+                   : 0.0;
+    }
+    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+      const auto [a, b] = lvl.edges[e];
+      const real_t area = norm(lvl.edge_normal[e]);
+      if (area <= 0) continue;
+      const Vec3 nh = lvl.edge_normal[e] / area;
+      wave[std::size_t(a)] += euler::spectral_radius(w[std::size_t(a)], nh) * area;
+      wave[std::size_t(b)] += euler::spectral_radius(w[std::size_t(b)], nh) * area;
+      if (opt_.viscous && lvl.edge_length[e] > 0) {
+        const real_t c =
+            (mu_lam_ + 0.5 * (mut[std::size_t(a)] + mut[std::size_t(b)])) *
+            area / lvl.edge_length[e];
+        wave[std::size_t(a)] += c / w[std::size_t(a)].rho;
+        wave[std::size_t(b)] += c / w[std::size_t(b)].rho;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3 bn{};
+      for (const Vec3& t : lvl.boundary_normal[i]) bn += t;
+      const real_t ba = norm(bn);
+      if (ba > 0) wave[i] += euler::spectral_radius(w[i], bn / ba) * ba;
+    }
+
+    // Diagonal 6x6 blocks.
+    std::vector<BlockMat<6>> diag(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const real_t dt = wave[i] > 0
+                            ? opt_.cfl * lvl.node_volume[i] / wave[i]
+                            : 1e30;
+      diag[i] = BlockMat<6>::diagonal(lvl.node_volume[i] / dt);
+    }
+    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+      const auto [a, b] = lvl.edges[e];
+      const real_t area = norm(lvl.edge_normal[e]);
+      if (area <= 0) continue;
+      const Vec3 nh = lvl.edge_normal[e] / area;
+      const real_t lam_a = euler::spectral_radius(w[std::size_t(a)], nh) * area;
+      const real_t lam_b = euler::spectral_radius(w[std::size_t(b)], nh) * area;
+      // dR_a/du_a += 0.5 (A(w_a, +n) + lambda I); likewise for b with -n.
+      const BlockMat<5> ja =
+          euler::flux_jacobian(w[std::size_t(a)], lvl.edge_normal[e]);
+      const BlockMat<5> jb =
+          euler::flux_jacobian(w[std::size_t(b)], -1.0 * lvl.edge_normal[e]);
+      for (int rr = 0; rr < 5; ++rr)
+        for (int cc = 0; cc < 5; ++cc) {
+          diag[std::size_t(a)](rr, cc) += 0.5 * ja(rr, cc);
+          diag[std::size_t(b)](rr, cc) += 0.5 * jb(rr, cc);
+        }
+      for (int rr = 0; rr < 5; ++rr) {
+        diag[std::size_t(a)](rr, rr) += 0.5 * lam_a;
+        diag[std::size_t(b)](rr, rr) += 0.5 * lam_b;
+      }
+      diag[std::size_t(a)](5, 5) += 0.5 * lam_a;
+      diag[std::size_t(b)](5, 5) += 0.5 * lam_b;
+      if (opt_.viscous && lvl.edge_length[e] > 0) {
+        const real_t geo = area / lvl.edge_length[e];
+        const real_t cm =
+            (mu_lam_ + 0.5 * (mut[std::size_t(a)] + mut[std::size_t(b)])) * geo;
+        const real_t cs = (mu_lam_ + 0.5 * (u[std::size_t(a)][5] + u[std::size_t(b)][5])) /
+                          kSigma * geo;
+        for (std::size_t s2 : {std::size_t(a), std::size_t(b)}) {
+          for (int rr = 1; rr <= 4; ++rr) diag[s2](rr, rr) += cm;
+          diag[s2](5, 5) += cs;
+        }
+      }
+    }
+    // Farfield linearization keeps boundary nodes well conditioned.
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3 bn{};
+      for (const Vec3& t : lvl.boundary_normal[i]) bn += t;
+      const real_t ba = norm(bn);
+      if (ba > 0) {
+        const real_t lam = euler::spectral_radius(w[i], bn / ba) * ba;
+        for (int rr = 0; rr < 6; ++rr) diag[i](rr, rr) += 0.5 * lam;
+      }
+    }
+
+    auto rhs_of = [&](std::size_t i) {
+      BlockVec<6> rhs;
+      for (int c = 0; c < 6; ++c)
+        rhs[c] = f[i][std::size_t(c)] - r[i][std::size_t(c)];
+      return rhs;
+    };
+    auto apply_update = [&](std::size_t i, const BlockVec<6>& du) {
+      State unew = u[i];
+      for (int c = 0; c < 6; ++c)
+        unew[std::size_t(c)] += opt_.relax * du[c];
+      unew[5] = std::max<real_t>(unew[5], 0);
+      if (state_valid(unew)) u[i] = unew;
+    };
+
+    if (!lines) {
+      for (std::size_t i = 0; i < n; ++i) {
+        BlockLU<6> lu;
+        if (!lu.factor(diag[i])) continue;
+        apply_update(i, lu.solve(rhs_of(i)));
+      }
+    } else {
+      // Block-tridiagonal solve along each implicit line; off-line
+      // couplings stay explicit (Jacobi) as in the paper's scheme.
+      for (const auto& line : lvl.lines.lines) {
+        const std::size_t len = line.size();
+        std::vector<BlockMat<6>> lower(len), dd(len), upper(len);
+        std::vector<BlockVec<6>> rhs(len);
+        for (std::size_t k = 0; k < len; ++k) {
+          const std::size_t i = std::size_t(line[k]);
+          dd[k] = diag[i];
+          rhs[k] = rhs_of(i);
+        }
+        // Off-diagonal blocks for consecutive line nodes.
+        for (std::size_t k = 0; k + 1 < len; ++k) {
+          const index_t i = line[k];
+          const index_t j = line[k + 1];
+          // Locate the edge (i, j).
+          for (const auto& [eid, sgn] : lvl.incident[std::size_t(i)]) {
+            const auto [ea, eb] = lvl.edges[std::size_t(eid)];
+            const index_t other = ea == i ? eb : ea;
+            if (other != j) continue;
+            const Vec3 n_out = sgn * lvl.edge_normal[std::size_t(eid)];
+            const real_t area = norm(n_out);
+            if (area <= 0) break;
+            const Vec3 nh = n_out / area;
+            // dR_i/du_j = 0.5 (A(w_j, n_out) - lambda_j I).
+            const BlockMat<5> jj = euler::flux_jacobian(w[std::size_t(j)], n_out);
+            const real_t lam = euler::spectral_radius(w[std::size_t(j)], nh) * area;
+            BlockMat<6> off;
+            for (int rr = 0; rr < 5; ++rr) {
+              for (int cc = 0; cc < 5; ++cc) off(rr, cc) = 0.5 * jj(rr, cc);
+              off(rr, rr) -= 0.5 * lam;
+            }
+            off(5, 5) -= 0.5 * lam;
+            if (opt_.viscous && lvl.edge_length[std::size_t(eid)] > 0) {
+              const real_t geo = area / lvl.edge_length[std::size_t(eid)];
+              const real_t cm = (mu_lam_ + 0.5 * (mut[std::size_t(i)] +
+                                                  mut[std::size_t(j)])) * geo;
+              for (int rr = 1; rr <= 4; ++rr) off(rr, rr) -= cm;
+              off(5, 5) -= (mu_lam_ +
+                            0.5 * (u[std::size_t(i)][5] + u[std::size_t(j)][5])) /
+                           kSigma * geo;
+            }
+            upper[k] = off;
+            // dR_j/du_i: mirrored with w_i and the opposite normal.
+            const BlockMat<5> ji =
+                euler::flux_jacobian(w[std::size_t(i)], -1.0 * n_out);
+            const real_t lam_i =
+                euler::spectral_radius(w[std::size_t(i)], nh) * area;
+            BlockMat<6> offl;
+            for (int rr = 0; rr < 5; ++rr) {
+              for (int cc = 0; cc < 5; ++cc) offl(rr, cc) = 0.5 * ji(rr, cc);
+              offl(rr, rr) -= 0.5 * lam_i;
+            }
+            offl(5, 5) -= 0.5 * lam_i;
+            if (opt_.viscous && lvl.edge_length[std::size_t(eid)] > 0) {
+              const real_t geo = area / lvl.edge_length[std::size_t(eid)];
+              const real_t cm = (mu_lam_ + 0.5 * (mut[std::size_t(i)] +
+                                                  mut[std::size_t(j)])) * geo;
+              for (int rr = 1; rr <= 4; ++rr) offl(rr, rr) -= cm;
+              offl(5, 5) -= (mu_lam_ +
+                             0.5 * (u[std::size_t(i)][5] + u[std::size_t(j)][5])) /
+                            kSigma * geo;
+            }
+            lower[k + 1] = offl;
+            break;
+          }
+        }
+        if (!linalg::solve_block_tridiag<6>(lower, dd, upper, rhs)) continue;
+        for (std::size_t k = 0; k < len; ++k)
+          apply_update(std::size_t(line[k]), rhs[k]);
+      }
+    }
+    apply_strong_bcs(l, u);
+  }
+}
+
+void Nsu3dSolver::restrict_to(int l) {
+  const Level& fine = levels_[std::size_t(l)];
+  const Level& coarse = levels_[std::size_t(l) + 1];
+  const auto& map = fine.to_coarse;
+  std::vector<State>& uc = state_[std::size_t(l) + 1];
+  std::vector<State>& fc = forcing_[std::size_t(l) + 1];
+  const std::size_t nc = std::size_t(coarse.num_nodes);
+
+  uc.assign(nc, State{});
+  std::vector<real_t> vol(nc, 0.0);
+  for (index_t i = 0; i < fine.num_nodes; ++i) {
+    const std::size_t j = std::size_t(map[std::size_t(i)]);
+    const real_t v = fine.node_volume[std::size_t(i)];
+    vol[j] += v;
+    for (int c = 0; c < 6; ++c)
+      uc[j][std::size_t(c)] += v * state_[std::size_t(l)][std::size_t(i)][std::size_t(c)];
+  }
+  for (std::size_t j = 0; j < nc; ++j)
+    if (vol[j] > 0)
+      for (int c = 0; c < 6; ++c) uc[j][std::size_t(c)] /= vol[j];
+  restricted_snapshot_[std::size_t(l) + 1] = uc;
+
+  compute_residual(l, state_[std::size_t(l)], residual_[std::size_t(l)],
+                   opt_.second_order && l == 0);
+  std::vector<State> transferred(nc, State{});
+  for (index_t i = 0; i < fine.num_nodes; ++i) {
+    const std::size_t j = std::size_t(map[std::size_t(i)]);
+    for (int c = 0; c < 6; ++c)
+      transferred[j][std::size_t(c)] +=
+          residual_[std::size_t(l)][std::size_t(i)][std::size_t(c)] -
+          forcing_[std::size_t(l)][std::size_t(i)][std::size_t(c)];
+  }
+  compute_residual(l + 1, uc, residual_[std::size_t(l) + 1], false);
+  fc.assign(nc, State{});
+  for (std::size_t j = 0; j < nc; ++j)
+    for (int c = 0; c < 6; ++c)
+      fc[j][std::size_t(c)] =
+          residual_[std::size_t(l) + 1][j][std::size_t(c)] -
+          transferred[j][std::size_t(c)];
+}
+
+void Nsu3dSolver::prolong_correction(int l) {
+  const Level& fine = levels_[std::size_t(l)];
+  const auto& map = fine.to_coarse;
+  const std::vector<State>& uc = state_[std::size_t(l) + 1];
+  const std::vector<State>& snap = restricted_snapshot_[std::size_t(l) + 1];
+  std::vector<State>& uf = state_[std::size_t(l)];
+  for (index_t i = 0; i < fine.num_nodes; ++i) {
+    const std::size_t j = std::size_t(map[std::size_t(i)]);
+    State unew = uf[std::size_t(i)];
+    for (int c = 0; c < 6; ++c)
+      unew[std::size_t(c)] += opt_.correction_damping *
+                              (uc[j][std::size_t(c)] - snap[j][std::size_t(c)]);
+    if (state_valid(unew)) uf[std::size_t(i)] = unew;
+  }
+  apply_strong_bcs(l, uf);
+}
+
+void Nsu3dSolver::mg_cycle(int l) {
+  const int nl = num_levels();
+  smooth(l, opt_.smooth_steps);
+  if (l + 1 >= nl) return;
+  restrict_to(l);
+  const int visits = (opt_.cycle == CycleType::W && l + 2 < nl) ? 2 : 1;
+  for (int v = 0; v < visits; ++v) mg_cycle(l + 1);
+  prolong_correction(l);
+  if (opt_.post_smooth_steps > 0) smooth(l, opt_.post_smooth_steps);
+}
+
+real_t Nsu3dSolver::residual_norm() {
+  compute_residual(0, state_[0], residual_[0], opt_.second_order);
+  const Level& lvl = levels_[0];
+  real_t sum = 0;
+  std::size_t cnt = 0;
+  for (index_t i = 0; i < lvl.num_nodes; ++i) {
+    const real_t v = lvl.node_volume[std::size_t(i)];
+    if (v <= 0) continue;
+    const real_t r = residual_[0][std::size_t(i)][0] / v;
+    sum += r * r;
+    ++cnt;
+  }
+  return std::sqrt(sum / real_t(std::max<std::size_t>(1, cnt)));
+}
+
+real_t Nsu3dSolver::run_cycle() {
+  mg_cycle(0);
+  return residual_norm();
+}
+
+std::vector<real_t> Nsu3dSolver::solve(int max_cycles, real_t orders) {
+  std::vector<real_t> history{residual_norm()};
+  const real_t target = history[0] * std::pow(10.0, -orders);
+  for (int c = 0; c < max_cycles; ++c) {
+    history.push_back(run_cycle());
+    if (history.back() <= target) break;
+  }
+  return history;
+}
+
+Forces Nsu3dSolver::integrate_forces() const {
+  const Level& lvl = levels_[0];
+  Forces out;
+  const real_t pinf = freestream_.p;
+  for (index_t i = 0; i < lvl.num_nodes; ++i) {
+    const Vec3& wn =
+        lvl.boundary_normal[std::size_t(i)][std::size_t(mesh::BoundaryTag::Wall)];
+    if (dot(wn, wn) <= 0) continue;
+    const Prim w = mean_prim(state_[0][std::size_t(i)]);
+    out.force += (w.p - pinf) * wn;
+  }
+  const real_t q = 0.5 * freestream_.rho * dot(freestream_.vel, freestream_.vel);
+  if (q > 0) {
+    const Vec3 dd = normalized(freestream_.vel);
+    out.cd = dot(out.force, dd) / q;
+    out.cl = (out.force.z - dot(out.force, dd) * dd.z) / q;
+  }
+  return out;
+}
+
+std::vector<LevelWork> Nsu3dSolver::level_work() const {
+  std::vector<index_t> visits(levels_.size(), 0);
+  struct Counter {
+    std::vector<index_t>& v;
+    int nl;
+    CycleType cyc;
+    void descend(int level) {
+      v[std::size_t(level)] += 1;
+      if (level + 1 >= nl) return;
+      const int reps = (cyc == CycleType::W && level + 2 < nl) ? 2 : 1;
+      for (int r = 0; r < reps; ++r) descend(level + 1);
+    }
+  } counter{visits, int(levels_.size()), opt_.cycle};
+  counter.descend(0);
+
+  std::vector<LevelWork> w;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    LevelWork lw;
+    lw.nodes = levels_[l].num_nodes;
+    lw.edges = index_t(levels_[l].edges.size());
+    lw.visits_per_cycle = visits[l];
+    w.push_back(lw);
+  }
+  return w;
+}
+
+}  // namespace columbia::nsu3d

@@ -1,0 +1,65 @@
+#include "sfc/sfc_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace columbia::sfc {
+
+std::vector<index_t> sort_order(std::span<const std::uint64_t> keys) {
+  std::vector<index_t> order(keys.size());
+  std::iota(order.begin(), order.end(), index_t(0));
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return keys[std::size_t(a)] < keys[std::size_t(b)];
+  });
+  return order;
+}
+
+std::vector<index_t> partition_weighted(std::span<const std::uint64_t> keys,
+                                        std::span<const real_t> weights,
+                                        index_t nparts) {
+  COLUMBIA_REQUIRE(nparts >= 1);
+  COLUMBIA_REQUIRE(weights.empty() || weights.size() == keys.size());
+  const std::vector<index_t> order = sort_order(keys);
+
+  real_t total = 0;
+  if (weights.empty())
+    total = real_t(keys.size());
+  else
+    for (real_t w : weights) total += w;
+
+  std::vector<index_t> part(keys.size(), 0);
+  // Walk the curve accumulating weight; close part p when the running sum
+  // crosses (p+1)/nparts of the total. This is the "divide the SFC into
+  // segments" partitioner of the paper and is exactly linear time.
+  real_t acc = 0;
+  index_t p = 0;
+  for (index_t i = 0; i < index_t(order.size()); ++i) {
+    const index_t item = order[std::size_t(i)];
+    const real_t w = weights.empty() ? 1.0 : weights[std::size_t(item)];
+    // Assign, then check whether this part has reached its share.
+    part[std::size_t(item)] = p;
+    acc += w;
+    const real_t boundary = total * real_t(p + 1) / real_t(nparts);
+    if (acc >= boundary && p + 1 < nparts) ++p;
+  }
+  return part;
+}
+
+real_t balance_factor(std::span<const index_t> part,
+                      std::span<const real_t> weights, index_t nparts) {
+  std::vector<real_t> pw(std::size_t(nparts), 0.0);
+  real_t total = 0;
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    const real_t w = weights.empty() ? 1.0 : weights[i];
+    pw[std::size_t(part[i])] += w;
+    total += w;
+  }
+  const real_t ideal = total / real_t(nparts);
+  real_t max_w = 0;
+  for (real_t w : pw) max_w = std::max(max_w, w);
+  return ideal > 0 ? max_w / ideal : 1.0;
+}
+
+}  // namespace columbia::sfc

@@ -1,0 +1,30 @@
+// Weighted partitioning of SFC-ordered cell lists.
+//
+// Cart3D partitions a mesh on-the-fly while the SFC-ordered file is read,
+// simply assigning contiguous curve segments to processors (paper Sec. V).
+// Weights let cut-cells count more than whole hexes (2.1x in Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace columbia::sfc {
+
+/// Splits items ordered by `keys` into `nparts` contiguous curve segments of
+/// near-equal total weight. Returns part ids indexed like the inputs
+/// (i.e. in the original, unsorted order).
+std::vector<index_t> partition_weighted(std::span<const std::uint64_t> keys,
+                                        std::span<const real_t> weights,
+                                        index_t nparts);
+
+/// Permutation that sorts items by key ascending (stable).
+std::vector<index_t> sort_order(std::span<const std::uint64_t> keys);
+
+/// Largest part weight divided by ideal (1.0 = perfect balance).
+real_t balance_factor(std::span<const index_t> part,
+                      std::span<const real_t> weights, index_t nparts);
+
+}  // namespace columbia::sfc

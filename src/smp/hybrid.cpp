@@ -1,0 +1,132 @@
+#include "smp/hybrid.hpp"
+
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace columbia::smp {
+
+namespace {
+
+/// Serves requests whose owner lives in the same rank by direct copy.
+void serve_local(const PartitionData& data, const RequestLists& requests,
+                 index_t part, index_t parts_begin, index_t parts_end,
+                 std::vector<real_t>& out) {
+  const auto& reqs = requests[std::size_t(part)];
+  out.resize(reqs.size());
+  for (std::size_t k = 0; k < reqs.size(); ++k) {
+    const HaloRequest& r = reqs[k];
+    if (r.from_partition >= parts_begin && r.from_partition < parts_end)
+      out[k] = data[std::size_t(r.from_partition)][std::size_t(r.item)];
+  }
+}
+
+}  // namespace
+
+PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
+                                        const RequestLists& requests) {
+  const index_t nparts = index_t(data.size());
+  COLUMBIA_REQUIRE(index_t(requests.size()) == nparts);
+  COLUMBIA_REQUIRE(rt.size() == int(nparts));
+
+  // Precompute, per ordered partition pair, the items to ship.
+  // sends[p][q] = item list p must send to q (q requested them from p).
+  std::vector<std::map<index_t, std::vector<index_t>>> sends(
+      std::size_t(nparts), std::map<index_t, std::vector<index_t>>{});
+  for (index_t q = 0; q < nparts; ++q)
+    for (const HaloRequest& r : requests[std::size_t(q)])
+      if (r.from_partition != q)
+        sends[std::size_t(r.from_partition)][q].push_back(r.item);
+
+  PartitionData out(std::size_t(nparts), std::vector<real_t>{});
+  rt.run([&](Comm& comm) {
+    const index_t me = index_t(comm.rank());
+    serve_local(data, requests, me, me, me + 1, out[std::size_t(me)]);
+    for (const auto& [q, items] : sends[std::size_t(me)]) {
+      std::vector<real_t> buf;
+      buf.reserve(items.size());
+      for (index_t item : items)
+        buf.push_back(data[std::size_t(me)][std::size_t(item)]);
+      comm.send(int(q), 10, buf);
+    }
+    // Receive in the deterministic order of our request list's senders.
+    std::map<index_t, std::vector<real_t>> received;
+    const auto& reqs = requests[std::size_t(me)];
+    for (const HaloRequest& r : reqs)
+      if (r.from_partition != me &&
+          !received.count(r.from_partition))
+        received[r.from_partition] = comm.recv(int(r.from_partition), 10);
+    std::map<index_t, std::size_t> cursor;
+    for (std::size_t k = 0; k < reqs.size(); ++k) {
+      const HaloRequest& r = reqs[k];
+      if (r.from_partition == me) continue;
+      out[std::size_t(me)][k] =
+          received[r.from_partition][cursor[r.from_partition]++];
+    }
+  });
+  return out;
+}
+
+PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
+                                     const RequestLists& requests,
+                                     int threads_per_process) {
+  const index_t nparts = index_t(data.size());
+  COLUMBIA_REQUIRE(index_t(requests.size()) == nparts);
+  COLUMBIA_REQUIRE(threads_per_process >= 1);
+  COLUMBIA_REQUIRE(nparts % threads_per_process == 0);
+  const index_t nprocs = nparts / threads_per_process;
+  COLUMBIA_REQUIRE(rt.size() == int(nprocs));
+  const index_t tpp = index_t(threads_per_process);
+
+  auto proc_of = [&](index_t part) { return part / tpp; };
+
+  // sends[P][Q] = (owner partition, item) pairs process P ships to Q,
+  // in the deterministic order of Q's partitions' request lists.
+  std::vector<std::map<index_t, std::vector<HaloRequest>>> sends(
+      std::size_t(nprocs), std::map<index_t, std::vector<HaloRequest>>{});
+  for (index_t q = 0; q < nparts; ++q) {
+    const index_t qp = proc_of(q);
+    for (const HaloRequest& r : requests[std::size_t(q)]) {
+      const index_t op = proc_of(r.from_partition);
+      if (op != qp) sends[std::size_t(op)][qp].push_back(r);
+    }
+  }
+
+  PartitionData out(std::size_t(nparts), std::vector<real_t>{});
+  rt.run([&](Comm& comm) {
+    const index_t me = index_t(comm.rank());
+    const index_t first = me * tpp, last = first + tpp;
+
+    // Intra-process requests: direct shared-memory copies (all partitions
+    // of this process, "thread-parallel" conceptually).
+    for (index_t p = first; p < last; ++p)
+      serve_local(data, requests, p, first, last, out[std::size_t(p)]);
+
+    // Master thread packs ONE buffer per remote process and sends it
+    // (Fig. 7b): all ghost values from every local partition together.
+    for (const auto& [qp, items] : sends[std::size_t(me)]) {
+      std::vector<real_t> buf;
+      buf.reserve(items.size());
+      for (const HaloRequest& r : items)
+        buf.push_back(
+            data[std::size_t(r.from_partition)][std::size_t(r.item)]);
+      comm.send(int(qp), 11, buf);
+    }
+    // Receive one message per remote process and scatter to the local
+    // partitions' request slots (thread-parallel unpack in the paper).
+    std::map<index_t, std::vector<real_t>> received;
+    std::map<index_t, std::size_t> cursor;
+    for (index_t p = first; p < last; ++p) {
+      const auto& reqs = requests[std::size_t(p)];
+      for (std::size_t k = 0; k < reqs.size(); ++k) {
+        const index_t op = proc_of(reqs[k].from_partition);
+        if (op == me) continue;
+        if (!received.count(op)) received[op] = comm.recv(int(op), 11);
+        out[std::size_t(p)][k] = received[op][cursor[op]++];
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace columbia::smp

@@ -1,0 +1,46 @@
+// The two hybrid MPI/OpenMP communication strategies of paper Fig. 7.
+//
+// Partitions are grouped into "processes" of `threads_per_process`
+// partitions each. A halo exchange then has two implementations:
+//
+//   (a) thread-to-thread (Fig. 7a): every partition is its own rank and
+//       sends directly to every partition it talks to. The paper found
+//       this scales poorly because thread-level MPI calls serialize.
+//
+//   (b) master-thread (Fig. 7b): partitions of one process pack all values
+//       bound for a remote process into a single buffer; the master rank
+//       alone sends/receives one message per remote process and the
+//       payload is scattered locally. Fewer, larger messages — the
+//       strategy NSU3D uses exclusively.
+//
+// Intra-process requests are served by direct copy (shared memory).
+#pragma once
+
+#include <vector>
+
+#include "smp/runtime.hpp"
+
+namespace columbia::smp {
+
+/// One item a partition needs from another partition.
+struct HaloRequest {
+  index_t from_partition;
+  index_t item;  // index into the owner partition's data array
+};
+
+/// Inputs: per-partition owned data and per-partition request lists.
+/// Output: fetched values, parallel to each partition's request list.
+using PartitionData = std::vector<std::vector<real_t>>;
+using RequestLists = std::vector<std::vector<HaloRequest>>;
+
+/// Fig. 7(a): one rank per partition, direct thread-to-thread messages.
+PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
+                                        const RequestLists& requests);
+
+/// Fig. 7(b): one rank per process of `threads_per_process` partitions;
+/// the master packs/sends one message per remote process.
+PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
+                                     const RequestLists& requests,
+                                     int threads_per_process);
+
+}  // namespace columbia::smp

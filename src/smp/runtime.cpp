@@ -1,0 +1,111 @@
+#include "smp/runtime.hpp"
+
+#include <thread>
+
+namespace columbia::smp {
+
+int Comm::size() const { return rt_->size(); }
+
+void Comm::send(int to, int tag, std::span<const real_t> data) {
+  rt_->post(rank_, to, tag, data);
+}
+
+std::vector<real_t> Comm::recv(int from, int tag) {
+  return rt_->take(rank_, from, tag);
+}
+
+void Comm::barrier() { rt_->barrier_wait(); }
+
+real_t Comm::allreduce_sum(real_t value) { return rt_->reduce(value, true); }
+real_t Comm::allreduce_max(real_t value) { return rt_->reduce(value, false); }
+
+TrafficStats Comm::traffic() const { return rt_->stats_[std::size_t(rank_)]; }
+
+Runtime::Runtime(int num_ranks)
+    : num_ranks_(num_ranks),
+      boxes_(std::size_t(num_ranks)),
+      stats_(std::size_t(num_ranks)) {
+  COLUMBIA_REQUIRE(num_ranks >= 1);
+}
+
+void Runtime::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(std::size_t(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, r, &fn] {
+      Comm comm(this, r);
+      fn(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TrafficStats Runtime::total_traffic() const {
+  TrafficStats total;
+  for (const TrafficStats& s : stats_) {
+    total.messages += s.messages;
+    total.bytes += s.bytes;
+  }
+  return total;
+}
+
+void Runtime::post(int from, int to, int tag, std::span<const real_t> data) {
+  COLUMBIA_REQUIRE(to >= 0 && to < num_ranks_);
+  {
+    Mailbox& box = boxes_[std::size_t(to)];
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(
+        Message{from, tag, std::vector<real_t>(data.begin(), data.end())});
+  }
+  boxes_[std::size_t(to)].cv.notify_all();
+  stats_[std::size_t(from)].messages += 1;
+  stats_[std::size_t(from)].bytes += data.size() * sizeof(real_t);
+}
+
+std::vector<real_t> Runtime::take(int me, int from, int tag) {
+  Mailbox& box = boxes_[std::size_t(me)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  while (true) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->from == from && it->tag == tag) {
+        std::vector<real_t> data = std::move(it->data);
+        box.queue.erase(it);
+        return data;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Runtime::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_count_ == num_ranks_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+}
+
+real_t Runtime::reduce(real_t v, bool is_sum) {
+  std::unique_lock<std::mutex> lock(reduce_mu_);
+  const std::uint64_t gen = reduce_generation_;
+  if (reduce_count_ == 0) {
+    reduce_acc_ = v;
+  } else {
+    reduce_acc_ = is_sum ? reduce_acc_ + v : std::max(reduce_acc_, v);
+  }
+  if (++reduce_count_ == num_ranks_) {
+    reduce_result_ = reduce_acc_;
+    reduce_count_ = 0;
+    ++reduce_generation_;
+    reduce_cv_.notify_all();
+    return reduce_result_;
+  }
+  reduce_cv_.wait(lock, [&] { return reduce_generation_ != gen; });
+  return reduce_result_;
+}
+
+}  // namespace columbia::smp

@@ -1,0 +1,115 @@
+// Thread-rank message-passing runtime (MPI-like, in-process).
+//
+// Substitutes for MPI on the machines this repo runs on: each "rank" is a
+// thread; point-to-point messages are typed byte buffers moved through
+// per-rank mailboxes; collectives are built on the same primitives. The
+// NSU3D halo exchange and the hybrid master-thread communication pattern
+// of the paper (Fig. 7b) run unmodified on top of this runtime, and the
+// per-rank traffic counters feed the Columbia machine model.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace columbia::smp {
+
+/// Traffic counters per rank (messages sent, payload bytes).
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Runtime;
+
+/// Per-rank communication handle passed to the rank function.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Sends a copy of `data` to `to` with a user tag. Non-blocking
+  /// (buffered): always returns immediately.
+  void send(int to, int tag, std::span<const real_t> data);
+
+  /// Blocks until a message with `tag` from `from` arrives; returns it.
+  std::vector<real_t> recv(int from, int tag);
+
+  /// Barrier across all ranks.
+  void barrier();
+
+  /// Sum / max reduction of one double across all ranks (returns on all).
+  real_t allreduce_sum(real_t value);
+  real_t allreduce_max(real_t value);
+
+  TrafficStats traffic() const;
+
+ private:
+  friend class Runtime;
+  Comm(Runtime* rt, int rank) : rt_(rt), rank_(rank) {}
+  Runtime* rt_;
+  int rank_;
+};
+
+/// Owns the mailboxes and runs rank functions on std::threads.
+class Runtime {
+ public:
+  explicit Runtime(int num_ranks);
+
+  int size() const { return num_ranks_; }
+
+  /// Runs `fn(comm)` on every rank concurrently; returns when all finish.
+  /// May be called repeatedly; mailboxes must be drained by the ranks.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Aggregate traffic across ranks since construction.
+  TrafficStats total_traffic() const;
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    int from;
+    int tag;
+    std::vector<real_t> data;
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  int num_ranks_;
+  std::vector<Mailbox> boxes_;
+  std::vector<TrafficStats> stats_;
+
+  // Barrier state.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Reduction state.
+  std::mutex reduce_mu_;
+  std::condition_variable reduce_cv_;
+  real_t reduce_acc_ = 0;
+  int reduce_count_ = 0;
+  std::uint64_t reduce_generation_ = 0;
+  real_t reduce_result_ = 0;
+
+  void post(int from, int to, int tag, std::span<const real_t> data);
+  std::vector<real_t> take(int me, int from, int tag);
+  void barrier_wait();
+  real_t reduce(real_t v, bool is_sum);
+};
+
+}  // namespace columbia::smp

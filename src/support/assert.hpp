@@ -1,0 +1,37 @@
+// Lightweight contract checks used across the library.
+//
+// COLUMBIA_REQUIRE is always on (API preconditions, cheap);
+// COLUMBIA_ASSERT compiles out in release internal hot loops unless
+// COLUMBIA_CHECKED is defined.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace columbia::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace columbia::detail
+
+#define COLUMBIA_REQUIRE(expr)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::columbia::detail::contract_failure("precondition", #expr, __FILE__, \
+                                           __LINE__);                       \
+  } while (0)
+
+#if defined(COLUMBIA_CHECKED) || !defined(NDEBUG)
+#define COLUMBIA_ASSERT(expr)                                             \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::columbia::detail::contract_failure("assertion", #expr, __FILE__, \
+                                           __LINE__);                     \
+  } while (0)
+#else
+#define COLUMBIA_ASSERT(expr) ((void)0)
+#endif

@@ -1,0 +1,34 @@
+// Console table formatting for benchmark harnesses.
+//
+// Every figure-reproduction binary prints its series through this class so
+// the output is uniform and easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace columbia {
+
+/// Fixed-column ASCII table. Columns are sized to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a rule under the header.
+  std::string to_string() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string num(double v, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace columbia

@@ -1,0 +1,17 @@
+// Common scalar and index typedefs.
+#pragma once
+
+#include <cstdint>
+
+namespace columbia {
+
+/// Index type for mesh entities (vertices, edges, cells). 32-bit indices
+/// keep the CSR structures compact; meshes in this repo stay far below 2^31.
+using index_t = std::int32_t;
+
+/// Floating-point type for all flow-state arithmetic.
+using real_t = double;
+
+inline constexpr index_t kInvalidIndex = -1;
+
+}  // namespace columbia

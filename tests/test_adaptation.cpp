@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "cart3d/solver.hpp"
+#include "cartesian/adaptation.hpp"
+#include "geom/components.hpp"
+
+namespace columbia::cartesian {
+namespace {
+
+geom::Aabb unit_domain() {
+  geom::Aabb d;
+  d.expand({-1, -1, -1});
+  d.expand({1, 1, 1});
+  return d;
+}
+
+TEST(Adaptation, NoFlagsIsIdentityOnUniformMesh) {
+  const CartMesh m = build_uniform_mesh(unit_domain(), 8);
+  std::vector<bool> flags(std::size_t(m.num_cells()), false);
+  const CartMesh r = refine_cells(m, nullptr, flags);
+  EXPECT_EQ(r.num_cells(), m.num_cells());
+  EXPECT_NEAR(r.total_fluid_volume(), m.total_fluid_volume(), 1e-12);
+}
+
+TEST(Adaptation, FlaggedCellsSplitIntoEight) {
+  const CartMesh m = build_uniform_mesh(unit_domain(), 4);
+  std::vector<bool> flags(64, false);
+  flags[10] = true;
+  const CartMesh r = refine_cells(m, nullptr, flags);
+  // One cell replaced by 8 children; 2:1 balance may split neighbors of
+  // neighbors only when levels differ by 2+ (not here).
+  EXPECT_EQ(r.num_cells(), 64 - 1 + 8);
+  EXPECT_NEAR(r.total_fluid_volume(), 8.0, 1e-12);
+}
+
+TEST(Adaptation, DeepensMaxLevelWhenNeeded) {
+  const CartMesh m = build_uniform_mesh(unit_domain(), 4);  // max_level 0
+  std::vector<bool> flags(64, true);
+  const CartMesh r = refine_cells(m, nullptr, flags);
+  EXPECT_EQ(r.max_level, 1);
+  EXPECT_EQ(r.num_cells(), 64 * 8);
+  EXPECT_NEAR(r.total_fluid_volume(), 8.0, 1e-12);
+}
+
+TEST(Adaptation, MaintainsTwoToOneBalance) {
+  // Flag a single cell twice in a row: the second refinement must force
+  // neighbor splits to keep the 2:1 rule.
+  CartMesh m = build_uniform_mesh(unit_domain(), 4);
+  for (int round = 0; round < 2; ++round) {
+    std::vector<bool> flags(std::size_t(m.num_cells()), false);
+    // Flag the cell nearest the domain center.
+    index_t best = 0;
+    real_t best_d = 1e30;
+    for (index_t i = 0; i < m.num_cells(); ++i) {
+      const real_t d = norm(m.cell_center(m.cells[std::size_t(i)]));
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    flags[std::size_t(best)] = true;
+    m = refine_cells(m, nullptr, flags);
+  }
+  for (const CartFace& f : m.faces) {
+    if (f.right == kInvalidIndex) continue;
+    EXPECT_LE(std::abs(int(m.cells[std::size_t(f.left)].level) -
+                       int(m.cells[std::size_t(f.right)].level)),
+              1);
+  }
+}
+
+TEST(Adaptation, ReclassifiesCutCellsAgainstSurface) {
+  const auto sphere = geom::make_sphere({0, 0, 0}, 0.4, 16, 32);
+  CartMeshOptions opt;
+  opt.base_n = 8;
+  opt.max_level = 1;
+  const CartMesh m = build_cart_mesh(sphere, unit_domain(), opt);
+  // Refine all cut cells.
+  std::vector<bool> flags(std::size_t(m.num_cells()), false);
+  for (index_t i = 0; i < m.num_cells(); ++i)
+    flags[std::size_t(i)] = m.cells[std::size_t(i)].cut;
+  const CartMesh r = refine_cells(m, &sphere, flags);
+  EXPECT_GT(r.num_cells(), m.num_cells());
+  EXPECT_GT(r.num_cut_cells(), m.num_cut_cells());
+  // The embedded area is still ~the sphere area and closes.
+  geom::Vec3 sum{};
+  real_t total = 0;
+  for (const CartCell& c : r.cells) {
+    sum += c.wall_area;
+    total += norm(c.wall_area);
+  }
+  const real_t sphere_area = 4 * 3.14159265 * 0.4 * 0.4;
+  EXPECT_NEAR(total, sphere_area, 0.25 * sphere_area);
+  EXPECT_LT(norm(sum), 0.05 * sphere_area);
+}
+
+TEST(Adaptation, FlagByDensityJumpPicksJumpCells) {
+  const CartMesh m = build_uniform_mesh(unit_domain(), 8);
+  // Synthetic solution: density jump at x = 0.
+  std::vector<euler::Cons> u(std::size_t(m.num_cells()));
+  for (index_t i = 0; i < m.num_cells(); ++i) {
+    const real_t rho = m.cell_center(m.cells[std::size_t(i)]).x < 0 ? 1.0 : 2.0;
+    u[std::size_t(i)] = euler::to_conservative({rho, {0, 0, 0}, 1.0});
+  }
+  const auto flags = flag_by_density_jump(m, u, 0.3);
+  // Only the two cell layers adjacent to x=0 see a jump.
+  for (index_t i = 0; i < m.num_cells(); ++i) {
+    const real_t x = m.cell_center(m.cells[std::size_t(i)]).x;
+    if (flags[std::size_t(i)]) {
+      EXPECT_LT(std::abs(x), 0.26);
+    }
+  }
+  index_t n_flagged = 0;
+  for (bool f : flags)
+    if (f) ++n_flagged;
+  EXPECT_EQ(n_flagged, 2 * 8 * 8);  // two layers of 64 cells
+}
+
+TEST(Adaptation, SolverRunsOnAdaptedMesh) {
+  // Full loop: solve, flag, adapt, solve again (the Cart3D workflow).
+  const auto sphere = geom::make_sphere({0, 0, 0}, 0.4, 16, 32);
+  geom::Aabb dom;
+  dom.expand({-1.5, -1.5, -1.5});
+  dom.expand({1.5, 1.5, 1.5});
+  CartMeshOptions opt;
+  opt.base_n = 8;
+  opt.max_level = 1;
+  const CartMesh m = build_cart_mesh(sphere, dom, opt);
+
+  euler::FlowConditions fc;
+  fc.mach = 0.4;
+  cart3d::SolverOptions sopt;
+  sopt.mg_levels = 2;
+  cart3d::Cart3DSolver coarse_solver(m, fc, sopt);
+  coarse_solver.solve(40, 2);
+
+  const auto flags = flag_by_density_jump(
+      m, coarse_solver.solution(), 0.15);
+  const CartMesh fine = refine_cells(m, &sphere, flags);
+  EXPECT_GT(fine.num_cells(), m.num_cells());
+
+  cart3d::Cart3DSolver fine_solver(fine, fc, sopt);
+  const auto h = fine_solver.solve(30, 2);
+  EXPECT_LT(h.back(), h.front());
+}
+
+}  // namespace
+}  // namespace columbia::cartesian

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "euler/flux.hpp"
+#include "support/random.hpp"
+
+namespace columbia::euler {
+namespace {
+
+using geom::Vec3;
+
+Prim random_state(Xoshiro256& rng) {
+  return {rng.uniform(0.2, 3.0),
+          {rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5),
+           rng.uniform(-1.5, 1.5)},
+          rng.uniform(0.2, 3.0)};
+}
+
+Vec3 random_unit(Xoshiro256& rng) {
+  Vec3 n{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return normalized(n);
+}
+
+TEST(State, RoundTripConservativePrimitive) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Prim w = random_state(rng);
+    const Prim back = to_primitive(to_conservative(w));
+    EXPECT_NEAR(back.rho, w.rho, 1e-12);
+    EXPECT_NEAR(back.p, w.p, 1e-11);
+    EXPECT_NEAR(norm(back.vel - w.vel), 0.0, 1e-12);
+  }
+}
+
+TEST(State, SoundSpeedAndMach) {
+  const Prim w{1.0, {1.0, 0, 0}, 1.0 / kGamma};
+  EXPECT_NEAR(w.sound_speed(), 1.0, 1e-14);
+  EXPECT_NEAR(w.mach(), 1.0, 1e-14);
+}
+
+TEST(State, ValidityDetection) {
+  const Prim ok{1.0, {0, 0, 0}, 1.0};
+  EXPECT_TRUE(is_valid(to_conservative(ok)));
+  Cons bad = to_conservative(ok);
+  bad[0] = -1;
+  EXPECT_FALSE(is_valid(bad));
+  Cons neg_p = to_conservative(ok);
+  neg_p[4] = 0;  // energy below kinetic => negative pressure
+  EXPECT_FALSE(is_valid(neg_p));
+}
+
+TEST(State, FreestreamDirectionFromAngles) {
+  FlowConditions fc;
+  fc.mach = 2.0;
+  fc.alpha_deg = 90.0;
+  const Prim w = fc.freestream();
+  EXPECT_NEAR(w.vel.z, 2.0, 1e-12);
+  EXPECT_NEAR(w.vel.x, 0.0, 1e-12);
+  EXPECT_NEAR(w.rho, 1.0, 1e-15);
+  // Unit sound speed normalization.
+  EXPECT_NEAR(w.sound_speed(), 1.0, 1e-12);
+}
+
+TEST(Flux, PhysicalFluxKnownValues) {
+  // Static gas: only pressure terms.
+  const Prim w{1.0, {0, 0, 0}, 2.0};
+  const Cons f = physical_flux(w, {1, 0, 0});
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 2.0);
+  EXPECT_DOUBLE_EQ(f[4], 0.0);
+}
+
+class FluxSchemes : public ::testing::TestWithParam<FluxScheme> {};
+
+TEST_P(FluxSchemes, ConsistencyFww) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 60; ++i) {
+    const Prim w = random_state(rng);
+    const Vec3 n = random_unit(rng);
+    const Cons fn = numerical_flux(w, w, n, GetParam());
+    const Cons fp = physical_flux(w, n);
+    for (int c = 0; c < 5; ++c)
+      EXPECT_NEAR(fn[std::size_t(c)], fp[std::size_t(c)], 1e-10)
+          << "component " << c;
+  }
+}
+
+TEST_P(FluxSchemes, ConservationAntisymmetry) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 60; ++i) {
+    const Prim l = random_state(rng);
+    const Prim r = random_state(rng);
+    const Vec3 n = random_unit(rng);
+    const Cons f1 = numerical_flux(l, r, n, GetParam());
+    const Cons f2 = numerical_flux(r, l, -n, GetParam());
+    for (int c = 0; c < 5; ++c)
+      EXPECT_NEAR(f1[std::size_t(c)], -f2[std::size_t(c)], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, FluxSchemes,
+                         ::testing::Values(FluxScheme::Roe,
+                                           FluxScheme::VanLeer,
+                                           FluxScheme::Rusanov));
+
+/// Roe and van Leer are exactly upwind for supersonic flow; Rusanov keeps
+/// its |lambda|max dissipation and is deliberately excluded.
+class UpwindExact : public ::testing::TestWithParam<FluxScheme> {};
+
+TEST_P(UpwindExact, SupersonicFullUpwind) {
+  const Prim l{1.0, {3.0, 0, 0}, 1.0 / kGamma};
+  const Prim r{0.5, {3.0, 0, 0}, 0.5 / kGamma};
+  const Cons f = numerical_flux(l, r, {1, 0, 0}, GetParam());
+  const Cons fl = physical_flux(l, {1, 0, 0});
+  for (int c = 0; c < 5; ++c)
+    EXPECT_NEAR(f[std::size_t(c)], fl[std::size_t(c)], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExactSchemes, UpwindExact,
+                         ::testing::Values(FluxScheme::Roe,
+                                           FluxScheme::VanLeer));
+
+TEST(Flux, RoeCapturesContactExactly) {
+  // Stationary contact: rho jumps, u = 0, p equal => Roe flux has zero
+  // mass flux.
+  const Prim l{1.0, {0, 0, 0}, 1.0};
+  const Prim r{2.0, {0, 0, 0}, 1.0};
+  const Cons f = numerical_flux(l, r, {1, 0, 0}, FluxScheme::Roe);
+  EXPECT_NEAR(f[0], 0.0, 1e-12);
+  EXPECT_NEAR(f[4], 0.0, 1e-12);
+}
+
+TEST(Flux, RusanovMoreDissipativeThanRoe) {
+  const Prim l{1.0, {0.1, 0, 0}, 1.0};
+  const Prim r{0.5, {0.1, 0, 0}, 0.4};
+  const Cons froe = numerical_flux(l, r, {1, 0, 0}, FluxScheme::Roe);
+  const Cons frus = numerical_flux(l, r, {1, 0, 0}, FluxScheme::Rusanov);
+  // Dissipation shows up as a larger mass flux toward the low-density side.
+  EXPECT_GT(frus[0], froe[0]);
+}
+
+TEST(Flux, WallFluxOnlyPressure) {
+  const Prim w{1.0, {5, 5, 5}, 3.0};
+  const Vec3 n{0, 0, 2.0};  // scaled normal (area included)
+  const Cons f = wall_flux(w, n);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[3], 6.0);
+  EXPECT_DOUBLE_EQ(f[4], 0.0);
+}
+
+TEST(Flux, SpectralRadius) {
+  const Prim w{1.0, {3, 0, 0}, 1.0 / kGamma};
+  EXPECT_NEAR(spectral_radius(w, {1, 0, 0}), 4.0, 1e-12);
+  EXPECT_NEAR(spectral_radius(w, {0, 1, 0}), 1.0, 1e-12);
+}
+
+TEST(Flux, FarfieldReducesToPhysicalWhenUniform) {
+  const Prim w{1.0, {0.5, 0.1, 0}, 1.0 / kGamma};
+  const Cons f = farfield_flux(w, w, {1, 0, 0}, FluxScheme::Roe);
+  const Cons fp = physical_flux(w, {1, 0, 0});
+  for (int c = 0; c < 5; ++c)
+    EXPECT_NEAR(f[std::size_t(c)], fp[std::size_t(c)], 1e-10);
+}
+
+}  // namespace
+}  // namespace columbia::euler

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "driver/flight.hpp"
+
+namespace columbia::driver {
+namespace {
+
+/// Builds a synthetic database with known linear aerodynamics:
+/// CL = 0.1*alpha + 0.5*deflection, CD = 0.02 + 0.001*alpha^2 + 0.01*mach.
+std::pair<DatabaseSpec, std::vector<CaseResult>> linear_db() {
+  DatabaseSpec spec;
+  spec.deflections = {-0.2, 0.0, 0.2};
+  spec.machs = {0.5, 0.8, 1.1};
+  spec.alphas_deg = {-4.0, 0.0, 4.0, 8.0};
+  spec.betas_deg = {0.0};
+  std::vector<CaseResult> results;
+  for (real_t d : spec.deflections)
+    for (real_t m : spec.machs)
+      for (real_t a : spec.alphas_deg) {
+        CaseResult r;
+        r.deflection_rad = d;
+        r.wind = {m, a, 0.0};
+        r.cl = 0.1 * a + 0.5 * d;
+        r.cd = 0.02 + 0.001 * a * a + 0.01 * m;
+        results.push_back(r);
+      }
+  return {spec, results};
+}
+
+TEST(AeroDatabase, ExactAtGridPoints) {
+  const auto [spec, results] = linear_db();
+  const AeroDatabase db(spec, results);
+  EXPECT_NEAR(db.cl(0.0, 0.8, 4.0), 0.4, 1e-12);
+  EXPECT_NEAR(db.cl(0.2, 0.5, -4.0), -0.3, 1e-12);
+  EXPECT_NEAR(db.cd(0.0, 1.1, 0.0), 0.031, 1e-12);
+}
+
+TEST(AeroDatabase, LinearInterpolationIsExactForLinearData) {
+  const auto [spec, results] = linear_db();
+  const AeroDatabase db(spec, results);
+  // CL is linear in alpha and deflection: trilinear interp is exact.
+  EXPECT_NEAR(db.cl(0.1, 0.65, 2.0), 0.1 * 2.0 + 0.5 * 0.1, 1e-12);
+  EXPECT_NEAR(db.cl(-0.1, 0.8, 6.0), 0.6 - 0.05, 1e-12);
+}
+
+TEST(AeroDatabase, ClampsOutsideHull) {
+  const auto [spec, results] = linear_db();
+  const AeroDatabase db(spec, results);
+  // Beyond the alpha range: clamped to the 8-degree value.
+  EXPECT_NEAR(db.cl(0.0, 0.8, 20.0), 0.8, 1e-12);
+  EXPECT_NEAR(db.cl(0.0, 0.8, -20.0), -0.4, 1e-12);
+}
+
+TEST(TrimAlpha, RecoversLinearTrim) {
+  const auto [spec, results] = linear_db();
+  const AeroDatabase db(spec, results);
+  // CL = 0.1 alpha => alpha(CL=0.5) = 5 degrees.
+  EXPECT_NEAR(trim_alpha(db, 0.0, 0.8, 0.5), 5.0, 1e-6);
+  // With 0.2 rad deflection contributing 0.1 CL: alpha = 4 degrees.
+  EXPECT_NEAR(trim_alpha(db, 0.2, 0.8, 0.5), 4.0, 1e-6);
+}
+
+TEST(TrimAlpha, ClampsToDatabaseRange) {
+  const auto [spec, results] = linear_db();
+  const AeroDatabase db(spec, results);
+  const real_t a = trim_alpha(db, 0.0, 0.8, 5.0);  // unreachable CL
+  EXPECT_LE(a, 8.0 + 1e-9);
+}
+
+TEST(FlyLongitudinal, TrajectoryAdvances) {
+  const auto [spec, results] = linear_db();
+  const AeroDatabase db(spec, results);
+  FlightSpec fs;
+  fs.steps = 50;
+  const auto traj = fly_longitudinal(db, fs);
+  ASSERT_EQ(traj.size(), 51u);
+  EXPECT_GT(traj.back().range, traj.front().range);
+  EXPECT_NEAR(traj.back().time, 25.0, 1e-9);
+  for (const auto& s : traj) {
+    EXPECT_TRUE(std::isfinite(s.velocity));
+    EXPECT_TRUE(std::isfinite(s.altitude));
+    EXPECT_GT(s.velocity, 0.0);
+  }
+}
+
+TEST(FlyLongitudinal, LiftTrimHoldsGamma) {
+  // With CL trimmed so lift ~ weight, the flight-path angle stays small.
+  const auto [spec, results] = linear_db();
+  const AeroDatabase db(spec, results);
+  FlightSpec fs;
+  fs.steps = 100;
+  // Pick target CL so L = W at the initial speed:
+  // W = m g = 588 kN; q S = 0.5*0.41*250^2*120 = 1.5375e6 N.
+  fs.target_cl = 588399.0 / 1537500.0;
+  const auto traj = fly_longitudinal(db, fs);
+  for (const auto& s : traj) EXPECT_LT(std::abs(s.gamma), 0.2);
+}
+
+TEST(FlyLongitudinal, MoreThrustClimbsFaster) {
+  const auto [spec, results] = linear_db();
+  const AeroDatabase db(spec, results);
+  FlightSpec low, high;
+  low.steps = high.steps = 80;
+  low.thrust = 0.5e5;
+  high.thrust = 3.0e5;
+  const auto tl = fly_longitudinal(db, low);
+  const auto th = fly_longitudinal(db, high);
+  EXPECT_GT(th.back().velocity, tl.back().velocity);
+}
+
+}  // namespace
+}  // namespace columbia::driver

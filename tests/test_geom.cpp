@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "geom/components.hpp"
+#include "geom/tribox.hpp"
+
+namespace columbia::geom {
+namespace {
+
+constexpr real_t kPi = std::numbers::pi_v<real_t>;
+
+TEST(Vec3, BasicOps) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const Vec3 c = cross(a, b);
+  EXPECT_DOUBLE_EQ(c.x, -3);
+  EXPECT_DOUBLE_EQ(c.y, 6);
+  EXPECT_DOUBLE_EQ(c.z, -3);
+  EXPECT_DOUBLE_EQ(norm(Vec3{3, 4, 0}), 5.0);
+  EXPECT_NEAR(norm(normalized(b)), 1.0, 1e-15);
+}
+
+TEST(Aabb, ExpandAndOverlap) {
+  Aabb a;
+  a.expand({0, 0, 0});
+  a.expand({1, 1, 1});
+  Aabb b;
+  b.expand({0.5, 0.5, 0.5});
+  b.expand({2, 2, 2});
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(a.contains({0.5, 0.5, 0.5}));
+  EXPECT_FALSE(a.contains({1.5, 0.5, 0.5}));
+  Aabb c;
+  c.expand({3, 3, 3});
+  c.expand({4, 4, 4});
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(TriBox, TriangleInsideBox) {
+  Aabb box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  EXPECT_TRUE(triangle_box_overlap({0.2, 0.2, 0.5}, {0.8, 0.2, 0.5},
+                                   {0.5, 0.8, 0.5}, box));
+}
+
+TEST(TriBox, TriangleFarAway) {
+  Aabb box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  EXPECT_FALSE(triangle_box_overlap({5, 5, 5}, {6, 5, 5}, {5, 6, 5}, box));
+}
+
+TEST(TriBox, LargeTriangleSpanningBox) {
+  Aabb box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  // Plane z=0.5 cutting through, vertices all outside.
+  EXPECT_TRUE(triangle_box_overlap({-10, -10, 0.5}, {10, -10, 0.5},
+                                   {0, 20, 0.5}, box));
+}
+
+TEST(TriBox, PlaneMissesCorner) {
+  Aabb box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  // Diagonal plane x+y+z = 4 does not reach the unit box (max corner sum 3).
+  const Vec3 a{4, 0, 0}, b{0, 4, 0}, c{0, 0, 4};
+  EXPECT_FALSE(triangle_box_overlap(a, b, c, box));
+  // x+y+z = 2.9 clips the corner region near (1,1,1).
+  const Vec3 d{2.9, 0, 0}, e{0, 2.9, 0}, f{0, 0, 2.9};
+  EXPECT_TRUE(triangle_box_overlap(d, e, f, box));
+}
+
+TEST(TriBox, EdgeCrossAxisSeparation) {
+  Aabb box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  // Thin sliver passing near but outside an edge of the box.
+  EXPECT_FALSE(triangle_box_overlap({1.6, 1.6, -1}, {1.6, 1.6, 2},
+                                    {1.7, 1.7, 0.5}, box));
+}
+
+TEST(Sphere, WatertightAndVolume) {
+  const TriSurface s = make_sphere({0, 0, 0}, 1.0, 24, 48);
+  EXPECT_TRUE(s.is_watertight());
+  const real_t v = s.enclosed_volume();
+  EXPECT_NEAR(v, 4.0 / 3.0 * kPi, 0.05 * 4.0 / 3.0 * kPi);
+  EXPECT_NEAR(s.total_area(), 4 * kPi, 0.05 * 4 * kPi);
+}
+
+TEST(Sphere, TranslatedCenterPreservesVolume) {
+  const TriSurface s = make_sphere({5, -3, 2}, 0.5, 16, 32);
+  EXPECT_TRUE(s.is_watertight());
+  EXPECT_NEAR(s.enclosed_volume(), 4.0 / 3.0 * kPi * 0.125,
+              0.1 * 4.0 / 3.0 * kPi * 0.125);
+}
+
+TEST(Box, WatertightExactVolume) {
+  const TriSurface b = make_box({0, 0, 0}, {2, 3, 4});
+  EXPECT_TRUE(b.is_watertight());
+  EXPECT_NEAR(b.enclosed_volume(), 24.0, 1e-12);
+  EXPECT_NEAR(b.total_area(), 2 * (2 * 3 + 3 * 4 + 2 * 4), 1e-12);
+}
+
+TEST(BodyOfRevolution, WatertightPositiveVolume) {
+  std::vector<std::pair<real_t, real_t>> prof{
+      {0, 0}, {0.2, 0.5}, {0.8, 0.5}, {1, 0}};
+  const TriSurface s = make_body_of_revolution(prof, 32);
+  EXPECT_TRUE(s.is_watertight());
+  EXPECT_GT(s.enclosed_volume(), 0.3);  // > cylinder 0.6 long r=0.5 is ~0.47
+}
+
+TEST(RocketBody, WatertightAndBounded) {
+  const TriSurface s = make_rocket_body(2.0, 0.3);
+  EXPECT_TRUE(s.is_watertight());
+  const Aabb b = s.bounds();
+  EXPECT_NEAR(b.lo.x, 0.0, 1e-9);
+  EXPECT_NEAR(b.hi.x, 2.0, 1e-9);
+  EXPECT_LE(b.hi.y, 0.3 + 1e-9);
+  EXPECT_GT(s.enclosed_volume(), 0.0);
+}
+
+TEST(Wing, WatertightAtZeroAndDeflected) {
+  WingSpec spec;
+  const TriSurface w0 = make_wing(spec);
+  EXPECT_TRUE(w0.is_watertight());
+  EXPECT_GT(w0.enclosed_volume(), 0.0);
+
+  spec.flap_deflection = 0.3;
+  const TriSurface w1 = make_wing(spec);
+  EXPECT_TRUE(w1.is_watertight());
+  EXPECT_GT(w1.enclosed_volume(), 0.0);
+}
+
+TEST(Wing, DeflectionMovesTrailingEdge) {
+  WingSpec spec;
+  const TriSurface w0 = make_wing(spec);
+  spec.flap_deflection = 0.4;
+  const TriSurface w1 = make_wing(spec);
+  // Positive deflection pushes the trailing edge down: min z decreases.
+  EXPECT_LT(w1.bounds().lo.z, w0.bounds().lo.z - 1e-4);
+  // Same triangle count: re-triangulation is structural, not topological.
+  EXPECT_EQ(w0.num_triangles(), w1.num_triangles());
+}
+
+TEST(Sslv, AssemblyComponentsAndWatertight) {
+  const TriSurface s = make_sslv(0.1, 1);
+  // ET + 2 SRB + fuselage + wing + tail + 4 attach + 5 engines = 15.
+  EXPECT_EQ(s.num_components(), 15);
+  EXPECT_TRUE(s.is_watertight());
+  EXPECT_GT(s.num_triangles(), 3000);
+}
+
+TEST(Transport, NacelleAddsComponents) {
+  const TriSurface plain = make_transport(false, 1);
+  const TriSurface nac = make_transport(true, 1);
+  EXPECT_EQ(plain.num_components(), 2);
+  EXPECT_EQ(nac.num_components(), 4);
+  EXPECT_TRUE(plain.is_watertight());
+  EXPECT_TRUE(nac.is_watertight());
+}
+
+TEST(Surface, AppendRemapsComponents) {
+  TriSurface a = make_box({0, 0, 0}, {1, 1, 1});
+  const TriSurface b = make_box({2, 0, 0}, {3, 1, 1});
+  a.append(b);
+  EXPECT_EQ(a.num_components(), 2);
+  EXPECT_EQ(a.num_triangles(), 24);
+  EXPECT_TRUE(a.is_watertight());
+}
+
+TEST(Surface, RotateIsRigid) {
+  TriSurface s = make_box({-1, -1, -1}, {1, 1, 1});
+  const real_t v0 = s.enclosed_volume();
+  const real_t a0 = s.total_area();
+  s.rotate({0, 0, 0}, {0, 0, 1}, 0.7);
+  EXPECT_NEAR(s.enclosed_volume(), v0, 1e-10);
+  EXPECT_NEAR(s.total_area(), a0, 1e-10);
+}
+
+TEST(Surface, NonWatertightDetected) {
+  TriSurface s;
+  const auto a = s.add_vertex({0, 0, 0});
+  const auto b = s.add_vertex({1, 0, 0});
+  const auto c = s.add_vertex({0, 1, 0});
+  s.add_triangle(a, b, c);
+  EXPECT_FALSE(s.is_watertight());
+}
+
+}  // namespace
+}  // namespace columbia::geom

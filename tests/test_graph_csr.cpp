@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/coloring.hpp"
+#include "graph/csr.hpp"
+#include "graph/rcm.hpp"
+#include "support/random.hpp"
+
+namespace columbia::graph {
+namespace {
+
+using Edge = std::pair<index_t, index_t>;
+
+Csr path_graph(index_t n) {
+  std::vector<Edge> edges;
+  for (index_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Csr::from_edges(n, edges);
+}
+
+Csr grid_graph(index_t nx, index_t ny) {
+  std::vector<Edge> edges;
+  auto id = [&](index_t i, index_t j) { return j * nx + i; };
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      if (i + 1 < nx) edges.emplace_back(id(i, j), id(i + 1, j));
+      if (j + 1 < ny) edges.emplace_back(id(i, j), id(i, j + 1));
+    }
+  return Csr::from_edges(nx * ny, edges);
+}
+
+TEST(Csr, BuildsFromEdges) {
+  const Csr g = path_graph(4);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_directed_edges(), 6);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Csr, DropsSelfLoops) {
+  std::vector<Edge> edges{{0, 0}, {0, 1}};
+  const Csr g = Csr::from_edges(2, edges);
+  EXPECT_EQ(g.num_directed_edges(), 2);
+}
+
+TEST(Csr, NeighborsSymmetric) {
+  const Csr g = grid_graph(5, 5);
+  for (index_t v = 0; v < g.num_vertices(); ++v)
+    for (index_t u : g.neighbors(v)) {
+      const auto nb = g.neighbors(u);
+      EXPECT_NE(std::find(nb.begin(), nb.end(), v), nb.end());
+    }
+}
+
+TEST(Csr, EdgeWeightsRoundTrip) {
+  std::vector<Edge> edges{{0, 1}, {1, 2}};
+  std::vector<real_t> w{2.5, 4.0};
+  const Csr g = Csr::from_weighted_edges(3, edges, w);
+  ASSERT_TRUE(g.has_edge_weights());
+  // Vertex 1 sees both weights.
+  const auto ws = g.edge_weights(1);
+  real_t sum = 0;
+  for (real_t x : ws) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 6.5);
+}
+
+TEST(Csr, VertexWeightDefaultsToOne) {
+  const Csr g = path_graph(3);
+  EXPECT_DOUBLE_EQ(g.vertex_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 3.0);
+}
+
+TEST(Csr, MaxDegreeOfGrid) {
+  const Csr g = grid_graph(4, 4);
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = Csr::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_directed_edges(), 0);
+}
+
+TEST(Csr, PermutePreservesStructure) {
+  const Csr g = grid_graph(3, 3);
+  std::vector<index_t> perm(9);
+  for (index_t i = 0; i < 9; ++i) perm[std::size_t(i)] = 8 - i;
+  const Csr p = permute(g, perm);
+  EXPECT_EQ(p.num_vertices(), g.num_vertices());
+  EXPECT_EQ(p.num_directed_edges(), g.num_directed_edges());
+  // Degree multiset preserved.
+  std::vector<index_t> dg, dp;
+  for (index_t v = 0; v < 9; ++v) {
+    dg.push_back(g.degree(v));
+    dp.push_back(p.degree(v));
+  }
+  std::sort(dg.begin(), dg.end());
+  std::sort(dp.begin(), dp.end());
+  EXPECT_EQ(dg, dp);
+}
+
+TEST(Rcm, ReducesEdgeSpanOnShuffledGrid) {
+  const Csr g = grid_graph(20, 20);
+  // Shuffle, then RCM should bring mean edge span near the grid's natural
+  // bandwidth (~nx).
+  std::vector<index_t> shuffle(400);
+  for (index_t i = 0; i < 400; ++i) shuffle[std::size_t(i)] = i;
+  Xoshiro256 rng(99);
+  for (index_t i = 399; i > 0; --i)
+    std::swap(shuffle[std::size_t(i)],
+              shuffle[std::size_t(rng.below(std::uint64_t(i) + 1))]);
+  const Csr shuffled = permute(g, shuffle);
+  const double before = mean_edge_span(shuffled);
+  const auto order = reverse_cuthill_mckee(shuffled);
+  const Csr reordered = permute(shuffled, order);
+  const double after = mean_edge_span(reordered);
+  EXPECT_LT(after, before * 0.3);
+  EXPECT_LT(after, 40);
+}
+
+TEST(Rcm, IsAPermutation) {
+  const Csr g = grid_graph(7, 5);
+  const auto order = reverse_cuthill_mckee(g);
+  std::vector<index_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < 35; ++i) EXPECT_EQ(sorted[std::size_t(i)], i);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  std::vector<Edge> edges{{0, 1}, {2, 3}, {4, 5}};
+  const Csr g = Csr::from_edges(6, edges);
+  const auto order = reverse_cuthill_mckee(g);
+  EXPECT_EQ(order.size(), 6u);
+}
+
+TEST(Coloring, ProperVertexColoring) {
+  const Csr g = grid_graph(10, 10);
+  const auto color = greedy_color(g);
+  for (index_t v = 0; v < g.num_vertices(); ++v)
+    for (index_t u : g.neighbors(v))
+      EXPECT_NE(color[std::size_t(v)], color[std::size_t(u)]);
+  // Grid is bipartite: greedy should use few colors.
+  EXPECT_LE(num_colors(color), 5);
+}
+
+TEST(Coloring, EdgeColoringConflictFree) {
+  std::vector<Edge> edges;
+  auto id = [&](index_t i, index_t j) { return j * 6 + i; };
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 6; ++i) {
+      if (i + 1 < 6) edges.emplace_back(id(i, j), id(i + 1, j));
+      if (j + 1 < 6) edges.emplace_back(id(i, j), id(i, j + 1));
+    }
+  const auto color = color_edges(36, edges);
+  // No two same-colored edges may share a vertex.
+  for (std::size_t a = 0; a < edges.size(); ++a)
+    for (std::size_t b = a + 1; b < edges.size(); ++b) {
+      if (color[a] != color[b]) continue;
+      EXPECT_TRUE(edges[a].first != edges[b].first &&
+                  edges[a].first != edges[b].second &&
+                  edges[a].second != edges[b].first &&
+                  edges[a].second != edges[b].second);
+    }
+  // Max degree 4 grid: first-fit stays within 2*Delta-1 = 7.
+  EXPECT_LE(num_colors(color), 7);
+}
+
+TEST(MeanEdgeSpan, PathIsOne) {
+  EXPECT_DOUBLE_EQ(mean_edge_span(path_graph(10)), 1.0);
+}
+
+}  // namespace
+}  // namespace columbia::graph

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "smp/hybrid.hpp"
+#include "support/random.hpp"
+
+namespace columbia::smp {
+namespace {
+
+/// Random partition data + random cross-partition requests.
+struct Scenario {
+  PartitionData data;
+  RequestLists requests;
+};
+
+Scenario make_scenario(index_t nparts, index_t items_per_part,
+                       index_t requests_per_part, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Scenario s;
+  s.data.resize(std::size_t(nparts));
+  for (auto& d : s.data) {
+    d.resize(std::size_t(items_per_part));
+    for (auto& v : d) v = rng.uniform(-10, 10);
+  }
+  s.requests.resize(std::size_t(nparts));
+  for (index_t p = 0; p < nparts; ++p) {
+    for (index_t k = 0; k < requests_per_part; ++k) {
+      HaloRequest r;
+      r.from_partition = index_t(rng.below(std::uint64_t(nparts)));
+      r.item = index_t(rng.below(std::uint64_t(items_per_part)));
+      s.requests[std::size_t(p)].push_back(r);
+    }
+  }
+  return s;
+}
+
+/// Ground truth: direct lookups.
+PartitionData expected(const Scenario& s) {
+  PartitionData out(s.data.size(), std::vector<real_t>{});
+  for (std::size_t p = 0; p < s.data.size(); ++p)
+    for (const HaloRequest& r : s.requests[p])
+      out[p].push_back(
+          s.data[std::size_t(r.from_partition)][std::size_t(r.item)]);
+  return out;
+}
+
+TEST(HybridComm, ThreadToThreadMatchesDirect) {
+  const Scenario s = make_scenario(8, 20, 15, 1);
+  Runtime rt(8);
+  const auto got = exchange_thread_to_thread(rt, s.data, s.requests);
+  EXPECT_EQ(got, expected(s));
+}
+
+TEST(HybridComm, MasterThreadMatchesDirect) {
+  const Scenario s = make_scenario(8, 20, 15, 2);
+  for (int tpp : {1, 2, 4, 8}) {
+    Runtime rt(8 / tpp);
+    const auto got = exchange_master_thread(rt, s.data, s.requests, tpp);
+    EXPECT_EQ(got, expected(s)) << tpp << " threads per process";
+  }
+}
+
+TEST(HybridComm, BothStrategiesAgree) {
+  const Scenario s = make_scenario(12, 30, 25, 3);
+  Runtime rt_a(12);
+  const auto a = exchange_thread_to_thread(rt_a, s.data, s.requests);
+  Runtime rt_b(4);
+  const auto b = exchange_master_thread(rt_b, s.data, s.requests, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HybridComm, MasterThreadSendsFewerLargerMessages) {
+  // The paper's rationale for the master-thread strategy (Fig. 7b):
+  // "a smaller number of larger messages being issued by the MPI
+  // routines". Verify with the runtime's traffic counters.
+  const Scenario s = make_scenario(16, 50, 40, 4);
+
+  Runtime flat(16);
+  exchange_thread_to_thread(flat, s.data, s.requests);
+  const auto t_flat = flat.total_traffic();
+
+  Runtime packed(4);  // 4 threads per process
+  exchange_master_thread(packed, s.data, s.requests, 4);
+  const auto t_packed = packed.total_traffic();
+
+  EXPECT_LT(t_packed.messages, t_flat.messages);
+  EXPECT_GT(real_t(t_packed.bytes) / real_t(std::max<std::uint64_t>(1, t_packed.messages)),
+            real_t(t_flat.bytes) / real_t(std::max<std::uint64_t>(1, t_flat.messages)));
+}
+
+TEST(HybridComm, IntraProcessRequestsNeedNoMessages) {
+  // All requests stay within each process: zero traffic.
+  Scenario s = make_scenario(8, 10, 0, 5);
+  for (index_t p = 0; p < 8; ++p)
+    for (index_t k = 0; k < 5; ++k)
+      s.requests[std::size_t(p)].push_back({p ^ 1, k});  // partner partition
+  Runtime rt(4);  // pairs (0,1),(2,3),... share a process
+  const auto got = exchange_master_thread(rt, s.data, s.requests, 2);
+  EXPECT_EQ(got, expected(s));
+  EXPECT_EQ(rt.total_traffic().messages, 0u);
+}
+
+TEST(HybridComm, SinglePartitionDegenerate) {
+  Scenario s = make_scenario(1, 5, 3, 6);
+  for (auto& reqs : s.requests)
+    for (auto& r : reqs) r.from_partition = 0;
+  Runtime rt(1);
+  const auto got = exchange_master_thread(rt, s.data, s.requests, 1);
+  EXPECT_EQ(got, expected(s));
+}
+
+}  // namespace
+}  // namespace columbia::smp

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "graph/lines.hpp"
+#include "mesh/builders.hpp"
+#include "mesh/dual_metrics.hpp"
+
+namespace columbia::mesh {
+namespace {
+
+TEST(BoxMesh, HexCountsAndVolume) {
+  const auto m = make_box_mesh(3, 4, 5, {0, 0, 0}, {3, 4, 5});
+  EXPECT_EQ(m.num_points(), 4 * 5 * 6);
+  EXPECT_EQ(m.num_elements(), 60);
+  EXPECT_NEAR(m.total_volume(), 60.0, 1e-10);
+  EXPECT_EQ(m.element_counts()[std::size_t(ElementType::Hex)], 60);
+}
+
+TEST(BoxMesh, TetVersionSameVolume) {
+  const auto m = make_box_mesh(3, 3, 3, {0, 0, 0}, {1, 1, 1}, true);
+  EXPECT_EQ(m.num_elements(), 27 * 6);
+  EXPECT_NEAR(m.total_volume(), 1.0, 1e-12);
+  // Every tet positively oriented.
+  for (index_t e = 0; e < m.num_elements(); ++e)
+    EXPECT_GT(m.element_volume(e), 0.0);
+}
+
+TEST(DualMetrics, VolumesPartitionTheDomain) {
+  for (bool tets : {false, true}) {
+    const auto m = make_box_mesh(4, 3, 5, {0, 0, 0}, {2, 1, 3}, tets);
+    const auto dm = compute_dual_metrics(m);
+    real_t sum = 0;
+    for (real_t v : dm.node_volume) {
+      EXPECT_GT(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 6.0, 1e-10) << (tets ? "tets" : "hexes");
+  }
+}
+
+TEST(DualMetrics, ClosureIsConservative) {
+  // The defining property of the median-dual construction: each node's
+  // dual faces + boundary faces close exactly.
+  for (bool tets : {false, true}) {
+    const auto m = make_box_mesh(5, 4, 3, {-1, 0, 2}, {1, 2, 3}, tets);
+    const auto dm = compute_dual_metrics(m);
+    EXPECT_LT(metric_closure_error(m, dm), 1e-12);
+  }
+}
+
+TEST(DualMetrics, UniformHexEdgeNormals) {
+  // On a uniform unit-spacing hex grid, an x-edge's dual face area is 1.
+  const auto m = make_box_mesh(4, 4, 4, {0, 0, 0}, {4, 4, 4});
+  const auto dm = compute_dual_metrics(m);
+  for (std::size_t e = 0; e < dm.edges.size(); ++e) {
+    const auto [a, b] = dm.edges[e];
+    const geom::Vec3 d = m.points[std::size_t(b)] - m.points[std::size_t(a)];
+    // Axis-aligned edges only in a hex grid.
+    const real_t len = norm(d);
+    EXPECT_NEAR(len, 1.0, 1e-12);
+    // Dual face area scales with how interior the edge is; interior edges
+    // get the full unit face.
+    const real_t area = norm(dm.edge_normal[e]);
+    EXPECT_GT(area, 0.2);
+    EXPECT_LT(area, 1.0 + 1e-12);
+    // Normal is parallel to the edge for a uniform grid.
+    EXPECT_NEAR(std::abs(dot(dm.edge_normal[e], d)) / (area * len), 1.0,
+                1e-12);
+  }
+}
+
+TEST(DualMetrics, WallDistanceZeroAtWallMonotoneOut) {
+  WingMeshSpec spec;
+  spec.n_wrap = 16;
+  spec.n_span = 2;
+  spec.n_normal = 8;
+  const auto m = make_wing_mesh(spec);
+  const auto dm = compute_dual_metrics(m);
+  // Nodes on the wall (k=0 ring) have distance 0.
+  index_t zero_count = 0;
+  for (real_t d : dm.wall_distance)
+    if (d == 0.0) ++zero_count;
+  EXPECT_EQ(zero_count, 16 * 3);  // n_wrap * (n_span+1)
+  // Farfield nodes are far.
+  real_t dmax = 0;
+  for (real_t d : dm.wall_distance) dmax = std::max(dmax, d);
+  EXPECT_GT(dmax, 5.0);
+}
+
+TEST(WingMesh, AllElementsPositive) {
+  WingMeshSpec spec;
+  spec.n_wrap = 24;
+  spec.n_span = 3;
+  spec.n_normal = 10;
+  const auto m = make_wing_mesh(spec);
+  for (index_t e = 0; e < m.num_elements(); ++e)
+    EXPECT_GT(m.element_volume(e), 0.0) << "element " << e;
+}
+
+TEST(WingMesh, HybridHexPrism) {
+  WingMeshSpec spec;
+  spec.n_wrap = 16;
+  spec.n_span = 2;
+  spec.n_normal = 8;
+  spec.hex_layer_fraction = 0.5;
+  const auto m = make_wing_mesh(spec);
+  const auto counts = m.element_counts();
+  EXPECT_GT(counts[std::size_t(ElementType::Hex)], 0);
+  EXPECT_GT(counts[std::size_t(ElementType::Prism)], 0);
+  // Prism block has twice the element count per layer.
+  EXPECT_EQ(counts[std::size_t(ElementType::Prism)],
+            2 * counts[std::size_t(ElementType::Hex)]);
+}
+
+TEST(WingMesh, MetricsCloseDespiteMixedElements) {
+  WingMeshSpec spec;
+  spec.n_wrap = 20;
+  spec.n_span = 2;
+  spec.n_normal = 8;
+  const auto m = make_wing_mesh(spec);
+  const auto dm = compute_dual_metrics(m);
+  // Dual volumes positive and sum to the domain volume.
+  real_t sum = 0;
+  for (real_t v : dm.node_volume) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, m.total_volume(), 1e-8 * std::abs(sum));
+  EXPECT_LT(metric_closure_error(m, dm), 1e-10);
+}
+
+TEST(WingMesh, StronglyAnisotropicNearWall) {
+  WingMeshSpec spec;
+  spec.n_wrap = 24;
+  spec.n_span = 2;
+  spec.n_normal = 12;
+  spec.wall_spacing = 1e-4;
+  const auto m = make_wing_mesh(spec);
+  const auto dm = compute_dual_metrics(m);
+  // Boundary-layer meshes in the paper run chord/normal ratios of 1e3+.
+  EXPECT_GT(dm.max_anisotropy(m), 100.0);
+}
+
+TEST(WingMesh, LinesFormInBoundaryLayer) {
+  WingMeshSpec spec;
+  spec.n_wrap = 24;
+  spec.n_span = 2;
+  spec.n_normal = 12;
+  spec.wall_spacing = 1e-4;
+  const auto m = make_wing_mesh(spec);
+  const auto dm = compute_dual_metrics(m);
+  const auto coupling = dm.edge_coupling(m);
+  std::vector<std::pair<index_t, index_t>> edges = dm.edges;
+  const auto g = graph::Csr::from_weighted_edges(m.num_points(), edges,
+                                                 coupling);
+  const auto ls = graph::extract_lines(g);
+  // Wall-normal lines should span several layers.
+  EXPECT_GE(ls.longest(), 4);
+  EXPECT_GT(ls.vertices_in_lines(), m.num_points() / 4);
+}
+
+TEST(MeshStats, ReportsConsistentNumbers) {
+  WingMeshSpec spec;
+  spec.n_wrap = 16;
+  spec.n_span = 2;
+  spec.n_normal = 6;
+  const auto m = make_wing_mesh(spec);
+  const auto st = compute_stats(m);
+  EXPECT_EQ(st.points, m.num_points());
+  EXPECT_GT(st.edges, st.points);  // 3D meshes have more edges than nodes
+  EXPECT_GT(st.max_aspect_ratio, 1.0);
+  EXPECT_NEAR(st.total_volume, m.total_volume(), 1e-12);
+}
+
+TEST(ElementTables, FacesCloseEachElement) {
+  // For each canonical element placed at unit coordinates, the sum of face
+  // area vectors must vanish (closed polyhedron).
+  UnstructuredMesh m;
+  m.points = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+              {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}};
+  Element hex{ElementType::Hex, {0, 1, 2, 3, 4, 5, 6, 7}};
+  m.elements = {hex};
+  EXPECT_NEAR(m.element_volume(0), 1.0, 1e-12);
+
+  UnstructuredMesh t;
+  t.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  t.elements = {Element{ElementType::Tet, {0, 1, 2, 3, -1, -1, -1, -1}}};
+  EXPECT_NEAR(t.element_volume(0), 1.0 / 6.0, 1e-12);
+
+  UnstructuredMesh p;
+  p.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 0, 1}, {0, 1, 1}};
+  p.elements = {Element{ElementType::Prism, {0, 1, 2, 3, 4, 5, -1, -1}}};
+  EXPECT_NEAR(p.element_volume(0), 0.5, 1e-12);
+
+  UnstructuredMesh y;
+  y.points = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}, {0.5, 0.5, 1}};
+  y.elements = {Element{ElementType::Pyramid, {0, 1, 2, 3, 4, -1, -1, -1}}};
+  EXPECT_NEAR(y.element_volume(0), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace columbia::mesh

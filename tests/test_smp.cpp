@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "smp/runtime.hpp"
+
+namespace columbia::smp {
+namespace {
+
+TEST(Runtime, RunsAllRanks) {
+  Runtime rt(8);
+  std::atomic<int> count{0};
+  rt.run([&](Comm& c) {
+    EXPECT_GE(c.rank(), 0);
+    EXPECT_LT(c.rank(), 8);
+    EXPECT_EQ(c.size(), 8);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Runtime, PointToPointRoundTrip) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<real_t> data{1.5, 2.5, 3.5};
+      c.send(1, 7, data);
+      const auto back = c.recv(1, 8);
+      ASSERT_EQ(back.size(), 3u);
+      EXPECT_DOUBLE_EQ(back[0], 3.0);
+    } else {
+      auto msg = c.recv(0, 7);
+      ASSERT_EQ(msg.size(), 3u);
+      EXPECT_DOUBLE_EQ(msg[1], 2.5);
+      for (auto& v : msg) v *= 2;
+      c.send(0, 8, msg);
+    }
+  });
+}
+
+TEST(Runtime, TagsAreMatchedNotOrdered) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 100, std::vector<real_t>{1});
+      c.send(1, 200, std::vector<real_t>{2});
+    } else {
+      // Receive in reverse tag order: matching is by (from, tag).
+      const auto b = c.recv(0, 200);
+      const auto a = c.recv(0, 100);
+      EXPECT_DOUBLE_EQ(a[0], 1);
+      EXPECT_DOUBLE_EQ(b[0], 2);
+    }
+  });
+}
+
+TEST(Runtime, AllReduceSum) {
+  Runtime rt(16);
+  rt.run([&](Comm& c) {
+    const real_t total = c.allreduce_sum(real_t(c.rank()));
+    EXPECT_DOUBLE_EQ(total, 120.0);  // 0+1+...+15
+  });
+}
+
+TEST(Runtime, AllReduceMax) {
+  Runtime rt(5);
+  rt.run([&](Comm& c) {
+    const real_t m = c.allreduce_max(real_t(c.rank() * c.rank()));
+    EXPECT_DOUBLE_EQ(m, 16.0);
+  });
+}
+
+TEST(Runtime, RepeatedReductions) {
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    for (int i = 0; i < 50; ++i) {
+      const real_t s = c.allreduce_sum(1.0);
+      EXPECT_DOUBLE_EQ(s, 4.0);
+    }
+  });
+}
+
+TEST(Runtime, BarrierSynchronizes) {
+  Runtime rt(6);
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  rt.run([&](Comm& c) {
+    ++before;
+    c.barrier();
+    if (before.load() != 6) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Runtime, TrafficCountersTrackBytes) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<real_t>(10, 0.0));
+      c.barrier();
+      EXPECT_EQ(c.traffic().messages, 1u);
+      EXPECT_EQ(c.traffic().bytes, 10 * sizeof(real_t));
+    } else {
+      c.recv(0, 1);
+      c.barrier();
+    }
+  });
+  EXPECT_EQ(rt.total_traffic().messages, 1u);
+}
+
+TEST(Runtime, AllToAllExchange) {
+  const int p = 6;
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    for (int q = 0; q < p; ++q)
+      if (q != c.rank())
+        c.send(q, 5, std::vector<real_t>{real_t(c.rank())});
+    real_t sum = 0;
+    for (int q = 0; q < p; ++q)
+      if (q != c.rank()) sum += c.recv(q, 5)[0];
+    EXPECT_DOUBLE_EQ(sum, real_t(p * (p - 1) / 2 - c.rank()));
+  });
+}
+
+}  // namespace
+}  // namespace columbia::smp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_line_solver"
+  "../bench/ablation_line_solver.pdb"
+  "CMakeFiles/ablation_line_solver.dir/ablation_line_solver.cpp.o"
+  "CMakeFiles/ablation_line_solver.dir/ablation_line_solver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_line_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

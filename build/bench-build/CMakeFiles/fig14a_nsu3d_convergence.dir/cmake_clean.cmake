@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14a_nsu3d_convergence"
+  "../bench/fig14a_nsu3d_convergence.pdb"
+  "CMakeFiles/fig14a_nsu3d_convergence.dir/fig14a_nsu3d_convergence.cpp.o"
+  "CMakeFiles/fig14a_nsu3d_convergence.dir/fig14a_nsu3d_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14a_nsu3d_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

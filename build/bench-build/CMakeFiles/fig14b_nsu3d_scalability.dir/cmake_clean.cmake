@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14b_nsu3d_scalability"
+  "../bench/fig14b_nsu3d_scalability.pdb"
+  "CMakeFiles/fig14b_nsu3d_scalability.dir/fig14b_nsu3d_scalability.cpp.o"
+  "CMakeFiles/fig14b_nsu3d_scalability.dir/fig14b_nsu3d_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_nsu3d_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14b_nsu3d_scalability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_hybrid_efficiency"
+  "../bench/fig15_hybrid_efficiency.pdb"
+  "CMakeFiles/fig15_hybrid_efficiency.dir/fig15_hybrid_efficiency.cpp.o"
+  "CMakeFiles/fig15_hybrid_efficiency.dir/fig15_hybrid_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hybrid_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

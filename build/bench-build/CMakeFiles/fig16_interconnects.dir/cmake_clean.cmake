@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_interconnects"
+  "../bench/fig16_interconnects.pdb"
+  "CMakeFiles/fig16_interconnects.dir/fig16_interconnects.cpp.o"
+  "CMakeFiles/fig16_interconnects.dir/fig16_interconnects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_interconnects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_mg23_interconnects"
+  "../bench/fig17_mg23_interconnects.pdb"
+  "CMakeFiles/fig17_mg23_interconnects.dir/fig17_mg23_interconnects.cpp.o"
+  "CMakeFiles/fig17_mg23_interconnects.dir/fig17_mg23_interconnects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_mg23_interconnects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

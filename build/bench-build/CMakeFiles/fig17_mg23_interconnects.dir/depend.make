@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_mg23_interconnects.
+# This may be replaced when dependencies are built.

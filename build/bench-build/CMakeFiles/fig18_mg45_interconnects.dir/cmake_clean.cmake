@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_mg45_interconnects"
+  "../bench/fig18_mg45_interconnects.pdb"
+  "CMakeFiles/fig18_mg45_interconnects.dir/fig18_mg45_interconnects.cpp.o"
+  "CMakeFiles/fig18_mg45_interconnects.dir/fig18_mg45_interconnects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_mg45_interconnects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_coarse_levels"
+  "../bench/fig19_coarse_levels.pdb"
+  "CMakeFiles/fig19_coarse_levels.dir/fig19_coarse_levels.cpp.o"
+  "CMakeFiles/fig19_coarse_levels.dir/fig19_coarse_levels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_coarse_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

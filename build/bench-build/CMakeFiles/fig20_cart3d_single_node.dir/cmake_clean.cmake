@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_cart3d_single_node"
+  "../bench/fig20_cart3d_single_node.pdb"
+  "CMakeFiles/fig20_cart3d_single_node.dir/fig20_cart3d_single_node.cpp.o"
+  "CMakeFiles/fig20_cart3d_single_node.dir/fig20_cart3d_single_node.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_cart3d_single_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

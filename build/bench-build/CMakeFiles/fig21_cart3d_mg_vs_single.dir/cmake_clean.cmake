@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_cart3d_mg_vs_single"
+  "../bench/fig21_cart3d_mg_vs_single.pdb"
+  "CMakeFiles/fig21_cart3d_mg_vs_single.dir/fig21_cart3d_mg_vs_single.cpp.o"
+  "CMakeFiles/fig21_cart3d_mg_vs_single.dir/fig21_cart3d_mg_vs_single.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_cart3d_mg_vs_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_cart3d_interconnects"
+  "../bench/fig22_cart3d_interconnects.pdb"
+  "CMakeFiles/fig22_cart3d_interconnects.dir/fig22_cart3d_interconnects.cpp.o"
+  "CMakeFiles/fig22_cart3d_interconnects.dir/fig22_cart3d_interconnects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_cart3d_interconnects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

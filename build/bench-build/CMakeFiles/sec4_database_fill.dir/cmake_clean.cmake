@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec4_database_fill"
+  "../bench/sec4_database_fill.pdb"
+  "CMakeFiles/sec4_database_fill.dir/sec4_database_fill.cpp.o"
+  "CMakeFiles/sec4_database_fill.dir/sec4_database_fill.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_database_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec5_sfc_quality"
+  "../bench/sec5_sfc_quality.pdb"
+  "CMakeFiles/sec5_sfc_quality.dir/sec5_sfc_quality.cpp.o"
+  "CMakeFiles/sec5_sfc_quality.dir/sec5_sfc_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_sfc_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

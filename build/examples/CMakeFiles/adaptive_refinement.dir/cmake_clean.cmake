@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_refinement.dir/adaptive_refinement.cpp.o"
+  "CMakeFiles/adaptive_refinement.dir/adaptive_refinement.cpp.o.d"
+  "adaptive_refinement"
+  "adaptive_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuttle_database.dir/shuttle_database.cpp.o"
+  "CMakeFiles/shuttle_database.dir/shuttle_database.cpp.o.d"
+  "shuttle_database"
+  "shuttle_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuttle_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_rans.dir/transport_rans.cpp.o"
+  "CMakeFiles/transport_rans.dir/transport_rans.cpp.o.d"
+  "transport_rans"
+  "transport_rans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_rans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_fidelity_campaign.dir/variable_fidelity_campaign.cpp.o"
+  "CMakeFiles/variable_fidelity_campaign.dir/variable_fidelity_campaign.cpp.o.d"
+  "variable_fidelity_campaign"
+  "variable_fidelity_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_fidelity_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("linalg")
+subdirs("graph")
+subdirs("sfc")
+subdirs("geom")
+subdirs("mesh")
+subdirs("cartesian")
+subdirs("euler")
+subdirs("smp")
+subdirs("nsu3d")
+subdirs("cart3d")
+subdirs("perf")
+subdirs("driver")

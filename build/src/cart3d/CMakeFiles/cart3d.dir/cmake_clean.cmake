@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cart3d.dir/solver.cpp.o"
+  "CMakeFiles/cart3d.dir/solver.cpp.o.d"
+  "libcart3d.a"
+  "libcart3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cart3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

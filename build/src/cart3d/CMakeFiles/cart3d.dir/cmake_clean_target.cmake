@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcart3d.a"
+)

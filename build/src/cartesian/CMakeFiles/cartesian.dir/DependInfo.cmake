@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cartesian/adaptation.cpp" "src/cartesian/CMakeFiles/cartesian.dir/adaptation.cpp.o" "gcc" "src/cartesian/CMakeFiles/cartesian.dir/adaptation.cpp.o.d"
+  "/root/repo/src/cartesian/cart_mesh.cpp" "src/cartesian/CMakeFiles/cartesian.dir/cart_mesh.cpp.o" "gcc" "src/cartesian/CMakeFiles/cartesian.dir/cart_mesh.cpp.o.d"
+  "/root/repo/src/cartesian/clip.cpp" "src/cartesian/CMakeFiles/cartesian.dir/clip.cpp.o" "gcc" "src/cartesian/CMakeFiles/cartesian.dir/clip.cpp.o.d"
+  "/root/repo/src/cartesian/coarsen.cpp" "src/cartesian/CMakeFiles/cartesian.dir/coarsen.cpp.o" "gcc" "src/cartesian/CMakeFiles/cartesian.dir/coarsen.cpp.o.d"
+  "/root/repo/src/cartesian/inside.cpp" "src/cartesian/CMakeFiles/cartesian.dir/inside.cpp.o" "gcc" "src/cartesian/CMakeFiles/cartesian.dir/inside.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/euler/CMakeFiles/euler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

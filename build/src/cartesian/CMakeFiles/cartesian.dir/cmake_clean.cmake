@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cartesian.dir/adaptation.cpp.o"
+  "CMakeFiles/cartesian.dir/adaptation.cpp.o.d"
+  "CMakeFiles/cartesian.dir/cart_mesh.cpp.o"
+  "CMakeFiles/cartesian.dir/cart_mesh.cpp.o.d"
+  "CMakeFiles/cartesian.dir/clip.cpp.o"
+  "CMakeFiles/cartesian.dir/clip.cpp.o.d"
+  "CMakeFiles/cartesian.dir/coarsen.cpp.o"
+  "CMakeFiles/cartesian.dir/coarsen.cpp.o.d"
+  "CMakeFiles/cartesian.dir/inside.cpp.o"
+  "CMakeFiles/cartesian.dir/inside.cpp.o.d"
+  "libcartesian.a"
+  "libcartesian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cartesian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver.dir/database.cpp.o"
+  "CMakeFiles/driver.dir/database.cpp.o.d"
+  "CMakeFiles/driver.dir/flight.cpp.o"
+  "CMakeFiles/driver.dir/flight.cpp.o.d"
+  "CMakeFiles/driver.dir/variable_fidelity.cpp.o"
+  "CMakeFiles/driver.dir/variable_fidelity.cpp.o.d"
+  "libdriver.a"
+  "libdriver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euler.dir/flux.cpp.o"
+  "CMakeFiles/euler.dir/flux.cpp.o.d"
+  "libeuler.a"
+  "libeuler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

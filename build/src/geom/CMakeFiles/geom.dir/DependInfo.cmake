@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/components.cpp" "src/geom/CMakeFiles/geom.dir/components.cpp.o" "gcc" "src/geom/CMakeFiles/geom.dir/components.cpp.o.d"
+  "/root/repo/src/geom/surface.cpp" "src/geom/CMakeFiles/geom.dir/surface.cpp.o" "gcc" "src/geom/CMakeFiles/geom.dir/surface.cpp.o.d"
+  "/root/repo/src/geom/tribox.cpp" "src/geom/CMakeFiles/geom.dir/tribox.cpp.o" "gcc" "src/geom/CMakeFiles/geom.dir/tribox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom.dir/components.cpp.o"
+  "CMakeFiles/geom.dir/components.cpp.o.d"
+  "CMakeFiles/geom.dir/surface.cpp.o"
+  "CMakeFiles/geom.dir/surface.cpp.o.d"
+  "CMakeFiles/geom.dir/tribox.cpp.o"
+  "CMakeFiles/geom.dir/tribox.cpp.o.d"
+  "libgeom.a"
+  "libgeom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/agglomerate.cpp" "src/graph/CMakeFiles/graph.dir/agglomerate.cpp.o" "gcc" "src/graph/CMakeFiles/graph.dir/agglomerate.cpp.o.d"
+  "/root/repo/src/graph/coloring.cpp" "src/graph/CMakeFiles/graph.dir/coloring.cpp.o" "gcc" "src/graph/CMakeFiles/graph.dir/coloring.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/lines.cpp" "src/graph/CMakeFiles/graph.dir/lines.cpp.o" "gcc" "src/graph/CMakeFiles/graph.dir/lines.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/graph.dir/partition.cpp.o.d"
+  "/root/repo/src/graph/rcm.cpp" "src/graph/CMakeFiles/graph.dir/rcm.cpp.o" "gcc" "src/graph/CMakeFiles/graph.dir/rcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph.dir/agglomerate.cpp.o"
+  "CMakeFiles/graph.dir/agglomerate.cpp.o.d"
+  "CMakeFiles/graph.dir/coloring.cpp.o"
+  "CMakeFiles/graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/graph.dir/csr.cpp.o"
+  "CMakeFiles/graph.dir/csr.cpp.o.d"
+  "CMakeFiles/graph.dir/lines.cpp.o"
+  "CMakeFiles/graph.dir/lines.cpp.o.d"
+  "CMakeFiles/graph.dir/partition.cpp.o"
+  "CMakeFiles/graph.dir/partition.cpp.o.d"
+  "CMakeFiles/graph.dir/rcm.cpp.o"
+  "CMakeFiles/graph.dir/rcm.cpp.o.d"
+  "libgraph.a"
+  "libgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/builders.cpp" "src/mesh/CMakeFiles/mesh.dir/builders.cpp.o" "gcc" "src/mesh/CMakeFiles/mesh.dir/builders.cpp.o.d"
+  "/root/repo/src/mesh/dual_metrics.cpp" "src/mesh/CMakeFiles/mesh.dir/dual_metrics.cpp.o" "gcc" "src/mesh/CMakeFiles/mesh.dir/dual_metrics.cpp.o.d"
+  "/root/repo/src/mesh/io.cpp" "src/mesh/CMakeFiles/mesh.dir/io.cpp.o" "gcc" "src/mesh/CMakeFiles/mesh.dir/io.cpp.o.d"
+  "/root/repo/src/mesh/reorder.cpp" "src/mesh/CMakeFiles/mesh.dir/reorder.cpp.o" "gcc" "src/mesh/CMakeFiles/mesh.dir/reorder.cpp.o.d"
+  "/root/repo/src/mesh/unstructured.cpp" "src/mesh/CMakeFiles/mesh.dir/unstructured.cpp.o" "gcc" "src/mesh/CMakeFiles/mesh.dir/unstructured.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

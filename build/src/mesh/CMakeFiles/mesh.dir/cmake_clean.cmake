@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh.dir/builders.cpp.o"
+  "CMakeFiles/mesh.dir/builders.cpp.o.d"
+  "CMakeFiles/mesh.dir/dual_metrics.cpp.o"
+  "CMakeFiles/mesh.dir/dual_metrics.cpp.o.d"
+  "CMakeFiles/mesh.dir/io.cpp.o"
+  "CMakeFiles/mesh.dir/io.cpp.o.d"
+  "CMakeFiles/mesh.dir/reorder.cpp.o"
+  "CMakeFiles/mesh.dir/reorder.cpp.o.d"
+  "CMakeFiles/mesh.dir/unstructured.cpp.o"
+  "CMakeFiles/mesh.dir/unstructured.cpp.o.d"
+  "libmesh.a"
+  "libmesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nsu3d/level.cpp" "src/nsu3d/CMakeFiles/nsu3d.dir/level.cpp.o" "gcc" "src/nsu3d/CMakeFiles/nsu3d.dir/level.cpp.o.d"
+  "/root/repo/src/nsu3d/partitioned.cpp" "src/nsu3d/CMakeFiles/nsu3d.dir/partitioned.cpp.o" "gcc" "src/nsu3d/CMakeFiles/nsu3d.dir/partitioned.cpp.o.d"
+  "/root/repo/src/nsu3d/solver.cpp" "src/nsu3d/CMakeFiles/nsu3d.dir/solver.cpp.o" "gcc" "src/nsu3d/CMakeFiles/nsu3d.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  "/root/repo/build/src/euler/CMakeFiles/euler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

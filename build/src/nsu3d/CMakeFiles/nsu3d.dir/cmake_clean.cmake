@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsu3d.dir/level.cpp.o"
+  "CMakeFiles/nsu3d.dir/level.cpp.o.d"
+  "CMakeFiles/nsu3d.dir/partitioned.cpp.o"
+  "CMakeFiles/nsu3d.dir/partitioned.cpp.o.d"
+  "CMakeFiles/nsu3d.dir/solver.cpp.o"
+  "CMakeFiles/nsu3d.dir/solver.cpp.o.d"
+  "libnsu3d.a"
+  "libnsu3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsu3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/columbia.cpp" "src/perf/CMakeFiles/perf.dir/columbia.cpp.o" "gcc" "src/perf/CMakeFiles/perf.dir/columbia.cpp.o.d"
+  "/root/repo/src/perf/loads.cpp" "src/perf/CMakeFiles/perf.dir/loads.cpp.o" "gcc" "src/perf/CMakeFiles/perf.dir/loads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  "/root/repo/build/src/nsu3d/CMakeFiles/nsu3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/cart3d/CMakeFiles/cart3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/cartesian/CMakeFiles/cartesian.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/euler/CMakeFiles/euler.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf.dir/columbia.cpp.o"
+  "CMakeFiles/perf.dir/columbia.cpp.o.d"
+  "CMakeFiles/perf.dir/loads.cpp.o"
+  "CMakeFiles/perf.dir/loads.cpp.o.d"
+  "libperf.a"
+  "libperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc.dir/hilbert.cpp.o"
+  "CMakeFiles/sfc.dir/hilbert.cpp.o.d"
+  "CMakeFiles/sfc.dir/sfc_partition.cpp.o"
+  "CMakeFiles/sfc.dir/sfc_partition.cpp.o.d"
+  "libsfc.a"
+  "libsfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

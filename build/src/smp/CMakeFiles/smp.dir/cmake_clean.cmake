@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smp.dir/hybrid.cpp.o"
+  "CMakeFiles/smp.dir/hybrid.cpp.o.d"
+  "CMakeFiles/smp.dir/runtime.cpp.o"
+  "CMakeFiles/smp.dir/runtime.cpp.o.d"
+  "libsmp.a"
+  "libsmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

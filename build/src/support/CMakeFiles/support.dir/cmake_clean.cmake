@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support.dir/table.cpp.o"
+  "CMakeFiles/support.dir/table.cpp.o.d"
+  "libsupport.a"
+  "libsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart3d.dir/test_cart3d.cpp.o"
+  "CMakeFiles/test_cart3d.dir/test_cart3d.cpp.o.d"
+  "test_cart3d"
+  "test_cart3d.pdb"
+  "test_cart3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

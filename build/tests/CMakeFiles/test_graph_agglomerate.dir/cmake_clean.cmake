@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_agglomerate.dir/test_graph_agglomerate.cpp.o"
+  "CMakeFiles/test_graph_agglomerate.dir/test_graph_agglomerate.cpp.o.d"
+  "test_graph_agglomerate"
+  "test_graph_agglomerate.pdb"
+  "test_graph_agglomerate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_agglomerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_lines.dir/test_graph_lines.cpp.o"
+  "CMakeFiles/test_graph_lines.dir/test_graph_lines.cpp.o.d"
+  "test_graph_lines"
+  "test_graph_lines.pdb"
+  "test_graph_lines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

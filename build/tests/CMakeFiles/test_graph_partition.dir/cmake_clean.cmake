@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_partition.dir/test_graph_partition.cpp.o"
+  "CMakeFiles/test_graph_partition.dir/test_graph_partition.cpp.o.d"
+  "test_graph_partition"
+  "test_graph_partition.pdb"
+  "test_graph_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_comm.dir/test_hybrid_comm.cpp.o"
+  "CMakeFiles/test_hybrid_comm.dir/test_hybrid_comm.cpp.o.d"
+  "test_hybrid_comm"
+  "test_hybrid_comm.pdb"
+  "test_hybrid_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nsu3d.dir/test_nsu3d.cpp.o"
+  "CMakeFiles/test_nsu3d.dir/test_nsu3d.cpp.o.d"
+  "test_nsu3d"
+  "test_nsu3d.pdb"
+  "test_nsu3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nsu3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_csr[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_agglomerate[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_lines[1]_include.cmake")
+include("/root/repo/build/tests/test_sfc[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_euler[1]_include.cmake")
+include("/root/repo/build/tests/test_cartesian[1]_include.cmake")
+include("/root/repo/build/tests/test_cart3d[1]_include.cmake")
+include("/root/repo/build/tests/test_smp[1]_include.cmake")
+include("/root/repo/build/tests/test_nsu3d[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh_io[1]_include.cmake")
+include("/root/repo/build/tests/test_flight[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptation[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_reorder[1]_include.cmake")

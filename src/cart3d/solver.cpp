@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "smp/pool.hpp"
 #include "support/assert.hpp"
 
 namespace columbia::cart3d {
@@ -44,6 +45,20 @@ Prim prim_from_array(const std::array<real_t, 5>& q) {
   return {q[0], {q[1], q[2], q[3]}, q[4]};
 }
 
+// Cell-loop chunk grain. Cells are stored in SFC order, so contiguous
+// chunks are spatially compact (cache/NUMA friendly). Fixed constant so
+// chunk boundaries never depend on the thread count (determinism).
+constexpr std::size_t kCellGrain = 512;
+
+/// Elementwise (no cross-index writes) loop over the cells [0, n).
+template <class Fn>
+void for_cells(std::size_t n, Fn&& body) {
+  smp::ThreadPool::global().parallel_for(
+      0, n, kCellGrain, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i) body(i);
+      });
+}
+
 }  // namespace
 
 Cart3DSolver::Cart3DSolver(const CartMesh& mesh,
@@ -57,6 +72,7 @@ Cart3DSolver::Cart3DSolver(const CartMesh& mesh,
   forcing_.resize(nl);
   residual_.resize(nl);
   restricted_snapshot_.resize(nl);
+  work_.resize(nl);
   const Cons uinf = euler::to_conservative(freestream_);
   for (std::size_t l = 0; l < nl; ++l) {
     const std::size_t n = hierarchy_.levels[l].cells.size();
@@ -70,24 +86,29 @@ void Cart3DSolver::compute_residual(int level, const std::vector<Cons>& u,
                                     std::vector<Cons>& res,
                                     bool second_order) {
   const CartMesh& m = hierarchy_.levels[std::size_t(level)];
+  Workspace& ws = work_[std::size_t(level)];
   const std::size_t n = m.cells.size();
   res.assign(n, Cons{});
 
   // Primitive cache.
-  std::vector<Prim> w(n);
-  for (std::size_t i = 0; i < n; ++i) w[i] = euler::to_primitive(u[i]);
+  ws.w.resize(n);
+  auto& w = ws.w;
+  for_cells(n, [&](std::size_t i) { w[i] = euler::to_primitive(u[i]); });
 
   // Gradients + Barth-Jespersen limiter for linear reconstruction.
-  std::vector<std::array<Vec3, 5>> grad;
-  std::vector<std::array<real_t, 5>> phi;
+  auto& grad = ws.grad;
+  auto& phi = ws.phi;
   if (second_order) {
     grad.assign(n, {});
     phi.assign(n, {1, 1, 1, 1, 1});
 
-    // Least-squares gradients over face neighbors.
-    std::vector<std::array<real_t, 6>> gram(
-        n, std::array<real_t, 6>{0, 0, 0, 0, 0, 0});
-    std::vector<std::array<Vec3, 5>> rhs(n, std::array<Vec3, 5>{});
+    // Least-squares gradients over face neighbors. The face loops scatter
+    // to both sides, so they stay serial; the per-cell 3x3 solves below
+    // run threaded.
+    ws.gram.assign(n, std::array<real_t, 6>{0, 0, 0, 0, 0, 0});
+    ws.rhs.assign(n, std::array<Vec3, 5>{});
+    auto& gram = ws.gram;
+    auto& rhs = ws.rhs;
     auto accumulate = [&](index_t a, index_t b) {
       const Vec3 d = m.cell_center(m.cells[std::size_t(b)]) -
                      m.cell_center(m.cells[std::size_t(a)]);
@@ -108,14 +129,14 @@ void Cart3DSolver::compute_residual(int level, const std::vector<Cons>& u,
       accumulate(f.left, f.right);
       accumulate(f.right, f.left);
     }
-    for (std::size_t i = 0; i < n; ++i) {
+    for_cells(n, [&](std::size_t i) {
       // Solve the 3x3 SPD system via explicit inverse (adjugate).
       const auto& g = gram[i];
       const real_t a = g[0], b = g[1], c = g[2], d = g[3], e = g[4],
                    f3 = g[5];
       const real_t det = a * (d * f3 - e * e) - b * (b * f3 - e * c) +
                          c * (b * e - d * c);
-      if (std::abs(det) < 1e-30) continue;  // isolated cell: keep zero grad
+      if (std::abs(det) < 1e-30) return;  // isolated cell: keep zero grad
       const real_t inv = 1.0 / det;
       const real_t i00 = (d * f3 - e * e) * inv;
       const real_t i01 = (c * e - b * f3) * inv;
@@ -129,13 +150,16 @@ void Cart3DSolver::compute_residual(int level, const std::vector<Cons>& u,
                                    i01 * r.x + i11 * r.y + i12 * r.z,
                                    i02 * r.x + i12 * r.y + i22 * r.z};
       }
-    }
+    });
 
     // Venkatakrishnan limiter: a smooth variant of Barth-Jespersen whose
     // differentiability avoids the limit cycles that stall steady-state
     // convergence (the hard min/max limiter plateaus 1-2 orders up).
-    std::vector<std::array<real_t, 5>> qmin(n), qmax(n);
-    for (std::size_t i = 0; i < n; ++i) qmin[i] = qmax[i] = prim_array(w[i]);
+    ws.qmin.resize(n);
+    ws.qmax.resize(n);
+    auto& qmin = ws.qmin;
+    auto& qmax = ws.qmax;
+    for_cells(n, [&](std::size_t i) { qmin[i] = qmax[i] = prim_array(w[i]); });
     auto minmax = [&](index_t a, index_t b) {
       const auto qb = prim_array(w[std::size_t(b)]);
       for (int c = 0; c < 5; ++c) {
@@ -213,25 +237,28 @@ void Cart3DSolver::compute_residual(int level, const std::vector<Cons>& u,
   }
 
   // Embedded (cut-cell) walls: pressure flux over the clipped surface.
-  for (std::size_t i = 0; i < n; ++i) {
+  for_cells(n, [&](std::size_t i) {
     const cartesian::CartCell& c = m.cells[i];
-    if (!c.cut) continue;
+    if (!c.cut) return;
     const Cons flux = euler::wall_flux(w[i], c.wall_area);
     for (int q = 0; q < 5; ++q) res[i][std::size_t(q)] += flux[std::size_t(q)];
-  }
+  });
 }
 
 void Cart3DSolver::smooth(int level, int steps) {
   const CartMesh& m = hierarchy_.levels[std::size_t(level)];
+  Workspace& ws = work_[std::size_t(level)];
   std::vector<Cons>& u = state_[std::size_t(level)];
   const std::vector<Cons>& f = forcing_[std::size_t(level)];
   const std::size_t n = m.cells.size();
 
   // Local time step: dt_i = CFL * V_i / sum(|lambda| A).
-  std::vector<real_t> wave(n, 0.0);
+  ws.wave.assign(n, 0.0);
+  auto& wave = ws.wave;
   {
-    std::vector<Prim> w(n);
-    for (std::size_t i = 0; i < n; ++i) w[i] = euler::to_primitive(u[i]);
+    ws.w.resize(n);
+    auto& w = ws.w;
+    for_cells(n, [&](std::size_t i) { w[i] = euler::to_primitive(u[i]); });
     for (const CartFace& fc : m.faces) {
       const Vec3 nrm = axis_normal(fc.axis);
       const real_t sl = euler::spectral_radius(w[std::size_t(fc.left)], nrm);
@@ -243,25 +270,26 @@ void Cart3DSolver::smooth(int level, int steps) {
       wave[std::size_t(fc.left)] +=
           euler::spectral_radius(w[std::size_t(fc.left)], boundary_normal(fc)) *
           fc.area;
-    for (std::size_t i = 0; i < n; ++i) {
+    for_cells(n, [&](std::size_t i) {
       const cartesian::CartCell& c = m.cells[i];
       if (c.cut)
         wave[i] += euler::spectral_radius(w[i], normalized(c.wall_area)) *
                    norm(c.wall_area);
-    }
+    });
   }
 
   const bool second = opt_.second_order && level == 0;
   // Three-stage Runge-Kutta smoother (Jameson-style coefficients).
   static constexpr real_t kAlpha[3] = {0.1481, 0.4, 1.0};
   for (int step = 0; step < steps; ++step) {
-    const std::vector<Cons> u0 = u;
+    ws.u0.assign(u.begin(), u.end());
+    const std::vector<Cons>& u0 = ws.u0;
     for (real_t alpha : kAlpha) {
       compute_residual(level, u, residual_[std::size_t(level)], second);
       std::vector<Cons>& r = residual_[std::size_t(level)];
-      for (std::size_t i = 0; i < n; ++i) {
+      for_cells(n, [&](std::size_t i) {
         const real_t v = m.cell_volume(m.cells[i]);
-        if (wave[i] <= 0 || v <= 0) continue;
+        if (wave[i] <= 0 || v <= 0) return;
         const real_t dt = opt_.cfl * v / wave[i];
         Cons unew = u0[i];
         for (int c = 0; c < 5; ++c)
@@ -269,7 +297,7 @@ void Cart3DSolver::smooth(int level, int steps) {
                                   (r[i][std::size_t(c)] - f[i][std::size_t(c)]);
         if (euler::is_valid(unew)) u[i] = unew;
         // else: keep the previous stage value (positivity guard).
-      }
+      });
     }
   }
 }
@@ -283,7 +311,9 @@ void Cart3DSolver::restrict_to(int level) {
   const std::size_t nc = coarse.cells.size();
 
   // Volume-weighted state restriction.
-  std::vector<real_t> vol(nc, 0.0);
+  Workspace& wsc = work_[std::size_t(level) + 1];
+  wsc.vol.assign(nc, 0.0);
+  std::vector<real_t>& vol = wsc.vol;
   uc.assign(nc, Cons{});
   for (std::size_t i = 0; i < fine.cells.size(); ++i) {
     const std::size_t j = std::size_t(map[i]);
@@ -308,7 +338,8 @@ void Cart3DSolver::restrict_to(int level) {
   compute_residual(level, state_[std::size_t(level)],
                    residual_[std::size_t(level)],
                    opt_.second_order && level == 0);
-  std::vector<Cons> transferred(nc, Cons{});
+  wsc.transferred.assign(nc, Cons{});
+  std::vector<Cons>& transferred = wsc.transferred;
   for (std::size_t i = 0; i < fine.cells.size(); ++i) {
     const std::size_t j = std::size_t(map[i]);
     for (int c = 0; c < 5; ++c)
@@ -329,14 +360,14 @@ void Cart3DSolver::prolong_correction(int level) {
   const std::vector<Cons>& uc = state_[std::size_t(level) + 1];
   const std::vector<Cons>& snap = restricted_snapshot_[std::size_t(level) + 1];
   std::vector<Cons>& uf = state_[std::size_t(level)];
-  for (std::size_t i = 0; i < uf.size(); ++i) {
+  for_cells(uf.size(), [&](std::size_t i) {
     const std::size_t j = std::size_t(map[i]);
     Cons unew = uf[i];
     for (int c = 0; c < 5; ++c)
       unew[std::size_t(c)] += opt_.correction_damping *
                               (uc[j][std::size_t(c)] - snap[j][std::size_t(c)]);
     if (euler::is_valid(unew)) uf[i] = unew;
-  }
+  });
 }
 
 void Cart3DSolver::mg_cycle(int level) {
@@ -357,13 +388,19 @@ real_t Cart3DSolver::residual_norm() {
   compute_residual(0, state_[0], residual_[0],
                    opt_.second_order);
   const CartMesh& m = hierarchy_.levels[0];
-  real_t sum = 0;
-  for (std::size_t i = 0; i < residual_[0].size(); ++i) {
-    const real_t v = m.cell_volume(m.cells[i]);
-    if (v <= 0) continue;
-    const real_t r = residual_[0][i][0] / v;
-    sum += r * r;
-  }
+  // Deterministic tree reduction: fixed chunking, partials combined in
+  // chunk order, so the norm is bit-identical for every thread count.
+  const real_t sum = smp::ThreadPool::global().reduce_sum(
+      0, residual_[0].size(), kCellGrain, [&](std::size_t b, std::size_t e) {
+        real_t s = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          const real_t v = m.cell_volume(m.cells[i]);
+          if (v <= 0) continue;
+          const real_t r = residual_[0][i][0] / v;
+          s += r * r;
+        }
+        return s;
+      });
   return std::sqrt(sum / real_t(std::max<std::size_t>(1, residual_[0].size())));
 }
 

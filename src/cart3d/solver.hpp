@@ -9,6 +9,7 @@
 // fine-to-coarse cell maps (FAS formulation, V- or W-cycles as in Fig. 4).
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "cartesian/coarsen.hpp"
@@ -75,6 +76,13 @@ class Cart3DSolver {
   /// Density residual norm of the current fine-grid state.
   real_t residual_norm();
 
+  /// Residual of `u` on `level` (public so benchmarks and equivalence
+  /// tests can drive the hot kernel directly). Cell loops run on the
+  /// shared-memory pool in SFC-contiguous chunks; results are
+  /// bit-identical for every thread count.
+  void compute_residual(int level, const std::vector<euler::Cons>& u,
+                        std::vector<euler::Cons>& res, bool second_order);
+
  private:
   SolverOptions opt_;
   euler::FlowConditions cond_;
@@ -86,8 +94,22 @@ class Cart3DSolver {
   std::vector<std::vector<euler::Cons>> forcing_;
   std::vector<std::vector<euler::Cons>> residual_;
 
-  void compute_residual(int level, const std::vector<euler::Cons>& u,
-                        std::vector<euler::Cons>& res, bool second_order);
+  /// Persistent per-level scratch so steady-state cycles perform no heap
+  /// allocation (vectors keep capacity across sweeps).
+  struct Workspace {
+    std::vector<euler::Prim> w;                    // primitive cache
+    std::vector<std::array<geom::Vec3, 5>> grad;   // LSQ gradients
+    std::vector<std::array<real_t, 5>> phi, qmin, qmax;
+    std::vector<std::array<real_t, 6>> gram;       // LSQ normal matrices
+    std::vector<std::array<geom::Vec3, 5>> rhs;    // LSQ right-hand sides
+    std::vector<real_t> wave;                      // sum |lambda| A
+    std::vector<euler::Cons> u0;                   // RK stage base state
+    // Restriction scratch (coarse-level sized).
+    std::vector<real_t> vol;
+    std::vector<euler::Cons> transferred;
+  };
+  std::vector<Workspace> work_;
+
   void smooth(int level, int steps);
   void mg_cycle(int level);
   void restrict_to(int level);        // level -> level+1 (state + forcing)

@@ -56,4 +56,19 @@ index_t num_colors(std::span<const index_t> colors) {
   return m;
 }
 
+ColorOrder color_major_order(std::span<const index_t> colors) {
+  ColorOrder out;
+  const std::size_t nc = std::size_t(num_colors(colors));
+  out.offsets.assign(nc + 1, 0);
+  for (index_t c : colors) ++out.offsets[std::size_t(c) + 1];
+  for (std::size_t c = 1; c <= nc; ++c) out.offsets[c] += out.offsets[c - 1];
+  // Counting sort: stable within each color, so relative order of a
+  // color's items is preserved.
+  out.perm.assign(colors.size(), kInvalidIndex);
+  std::vector<std::size_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (std::size_t e = 0; e < colors.size(); ++e)
+    out.perm[cursor[std::size_t(colors[e])]++] = index_t(e);
+  return out;
+}
+
 }  // namespace columbia::graph

@@ -25,4 +25,15 @@ std::vector<index_t> color_edges(
 /// Number of distinct colors in a coloring.
 index_t num_colors(std::span<const index_t> colors);
 
+/// Color-major traversal order for a coloring: `perm[k]` is the original
+/// id of the k-th item after a stable sort by color, and color `c`
+/// occupies the contiguous span [offsets[c], offsets[c+1]). Reordering
+/// edge arrays with `perm` makes every color a contiguous, race-free span
+/// for the threaded scatter loops.
+struct ColorOrder {
+  std::vector<index_t> perm;         // new position -> original id
+  std::vector<std::size_t> offsets;  // size num_colors + 1
+};
+ColorOrder color_major_order(std::span<const index_t> colors);
+
 }  // namespace columbia::graph

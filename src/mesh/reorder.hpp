@@ -8,6 +8,7 @@
 // locality improvement.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "mesh/unstructured.hpp"
@@ -24,5 +25,16 @@ struct ReorderResult {
 /// Renumbers the mesh nodes with reverse Cuthill-McKee (in place).
 /// Returns the permutation and the bandwidth-proxy improvement.
 ReorderResult reorder_for_cache(UnstructuredMesh& m);
+
+/// Applies a permutation (perm[new_id] = old_id) to one parallel array:
+/// out[k] = v[perm[k]]. Shared by the RCM node reorder and the
+/// color-major edge reorder of the solver levels.
+template <class T>
+std::vector<T> permuted(const std::vector<T>& v, std::span<const index_t> perm) {
+  std::vector<T> out;
+  out.reserve(v.size());
+  for (index_t old_id : perm) out.push_back(v[std::size_t(old_id)]);
+  return out;
+}
 
 }  // namespace columbia::mesh

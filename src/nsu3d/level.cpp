@@ -1,10 +1,13 @@
 #include "nsu3d/level.hpp"
 
+#include <cmath>
 #include <unordered_map>
 
 #include "graph/agglomerate.hpp"
+#include "graph/coloring.hpp"
 #include "graph/csr.hpp"
 #include "graph/lines.hpp"
+#include "mesh/reorder.hpp"
 #include "support/assert.hpp"
 
 namespace columbia::nsu3d {
@@ -19,6 +22,34 @@ void Level::build_incident() {
     incident[std::size_t(a)].push_back({index_t(e), +1.0});
     incident[std::size_t(b)].push_back({index_t(e), -1.0});
   }
+}
+
+void Level::finalize_edges(bool color) {
+  if (color && !edges.empty()) {
+    const std::vector<index_t> colors = graph::color_edges(num_nodes, edges);
+    graph::ColorOrder order = graph::color_major_order(colors);
+    edges = mesh::permuted(edges, order.perm);
+    edge_normal = mesh::permuted(edge_normal, order.perm);
+    edge_length = mesh::permuted(edge_length, order.perm);
+    color_offsets = std::move(order.offsets);
+  } else {
+    color_offsets = {0, edges.size()};
+  }
+
+  edge_area.resize(edges.size());
+  edge_unit.resize(edges.size());
+  edge_dab.resize(edges.size());
+  edge_eps2.resize(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [a, b] = edges[e];
+    const real_t area = norm(edge_normal[e]);
+    edge_area[e] = area;
+    edge_unit[e] = area > 0 ? edge_normal[e] / area : Vec3{};
+    edge_dab[e] = 0.5 * (node_center[std::size_t(b)] -
+                         node_center[std::size_t(a)]);
+    edge_eps2[e] = std::pow(0.3 * edge_length[e], 3);
+  }
+  build_incident();
 }
 
 namespace {
@@ -37,7 +68,7 @@ void index_lines(Level& lvl) {
 }
 
 /// Coarse level from a fine level via agglomeration of the coupling graph.
-Level coarsen(Level& fine) {
+Level coarsen(Level& fine, bool color_edges) {
   // Coupling weights |n|/len seed the agglomeration priority so strongly
   // coupled (boundary-layer) regions agglomerate along their stiffness.
   std::vector<real_t> weights(fine.edges.size());
@@ -118,7 +149,7 @@ Level coarsen(Level& fine) {
     coarse.lines = graph::extract_lines(cg, lo);
   }
   index_lines(coarse);
-  coarse.build_incident();
+  coarse.finalize_edges(color_edges);
   return coarse;
 }
 
@@ -155,11 +186,11 @@ std::vector<Level> build_levels(const mesh::UnstructuredMesh& m,
     fine.lines = graph::extract_lines(g, lo);
   }
   index_lines(fine);
-  fine.build_incident();
+  fine.finalize_edges(opt.color_edges);
   levels.push_back(std::move(fine));
 
   for (int l = 1; l < opt.num_levels; ++l) {
-    Level coarse = coarsen(levels.back());
+    Level coarse = coarsen(levels.back(), opt.color_edges);
     if (coarse.num_nodes >= levels.back().num_nodes) break;
     levels.push_back(std::move(coarse));
     if (levels.back().num_nodes <= 4) break;

@@ -24,6 +24,21 @@ struct Level {
   std::vector<std::pair<index_t, index_t>> edges;  // a < b
   std::vector<geom::Vec3> edge_normal;             // oriented a -> b
   std::vector<real_t> edge_length;                 // |x_b - x_a| proxy
+
+  /// Color-major edge layout (paper Sec. III: the edge loop is colored so
+  /// accumulate-to-points vectorizes/threads): color c occupies the
+  /// contiguous span [color_offsets[c], color_offsets[c+1]) and no two
+  /// edges within a span share a node, so a scatter over one span is
+  /// race-free. With coloring disabled this degenerates to one span
+  /// covering all edges (serial-only).
+  std::vector<std::size_t> color_offsets;
+
+  /// Per-edge geometry precomputed once at level construction (the seed
+  /// recomputed norms/normalizations/pow per edge per sweep):
+  std::vector<real_t> edge_area;      // |edge_normal|
+  std::vector<geom::Vec3> edge_unit;  // edge_normal / area (0 if degenerate)
+  std::vector<geom::Vec3> edge_dab;   // 0.5 * (center_b - center_a)
+  std::vector<real_t> edge_eps2;      // Venkatakrishnan (0.3 h)^3
   std::vector<real_t> node_volume;
   std::vector<geom::Vec3> node_center;             // volume centroid proxy
   /// Outward boundary closure per node, per BoundaryTag (Wall/Farfield/Sym).
@@ -44,6 +59,16 @@ struct Level {
   std::vector<std::vector<std::pair<index_t, real_t>>> incident;
 
   void build_incident();
+
+  /// Colors + reorders the edge arrays color-major (when `color` is set),
+  /// precomputes the per-edge geometry, and (re)builds `incident`. Must
+  /// run after edges/normals/lengths/centers are final.
+  void finalize_edges(bool color);
+
+  index_t num_edge_colors() const {
+    return color_offsets.size() < 2 ? 0 : index_t(color_offsets.size() - 1);
+  }
+
   bool is_wall_node(index_t v) const {
     const geom::Vec3& n =
         boundary_normal[std::size_t(v)][std::size_t(mesh::BoundaryTag::Wall)];
@@ -55,6 +80,9 @@ struct LevelOptions {
   int num_levels = 4;
   /// Edge-coupling ratio above which an edge joins an implicit line.
   real_t line_threshold = 4.0;
+  /// Color + reorder edges color-major for the threaded scatter loops.
+  /// Disable only for serial-order equivalence testing.
+  bool color_edges = true;
 };
 
 /// Builds the hierarchy: level 0 from the mesh's dual metrics, coarser

@@ -6,6 +6,7 @@
 #include "euler/jacobian.hpp"
 #include "linalg/block.hpp"
 #include "linalg/block_tridiag.hpp"
+#include "smp/pool.hpp"
 #include "support/assert.hpp"
 
 namespace columbia::nsu3d {
@@ -31,6 +32,13 @@ constexpr real_t kCv1 = 7.1;
 constexpr real_t kPrandtl = 0.72;
 constexpr real_t kPrandtlTurb = 0.9;
 
+// Chunk grains for the pooled loops; fixed constants so chunk boundaries —
+// and with them floating-point combine order — never depend on the thread
+// count (see smp::ThreadPool's determinism contract).
+constexpr std::size_t kNodeGrain = 256;
+constexpr std::size_t kEdgeGrain = 512;
+constexpr std::size_t kLineGrain = 2;
+
 Prim mean_prim(const State& u) {
   const real_t inv = 1.0 / u[0];
   const Vec3 vel{u[1] * inv, u[2] * inv, u[3] * inv};
@@ -55,6 +63,44 @@ real_t eddy_viscosity(real_t rho, real_t nut, real_t nu_lam) {
   return rho * nut * fv1;
 }
 
+/// Scalar component c of the reconstruction set [rho, u, v, w, p, nut]:
+/// the one helper shared by the gradient, limiter, and reconstruction
+/// stages.
+inline real_t prim_scalar(const Prim& w, real_t nut, int c) {
+  switch (c) {
+    case 0: return w.rho;
+    case 1: return w.vel.x;
+    case 2: return w.vel.y;
+    case 3: return w.vel.z;
+    case 4: return w.p;
+    default: return nut;
+  }
+}
+
+/// Runs `body(edge)` over every edge, one color span at a time. Edges in
+/// a span touch disjoint nodes (Level::finalize_edges), so the scatter is
+/// race-free; processing colors in order keeps per-node accumulation
+/// order fixed for every thread count.
+template <class Fn>
+void for_edges_colored(const Level& lvl, Fn&& body) {
+  smp::ThreadPool& pool = smp::ThreadPool::global();
+  for (std::size_t c = 0; c + 1 < lvl.color_offsets.size(); ++c)
+    pool.parallel_for(lvl.color_offsets[c], lvl.color_offsets[c + 1],
+                      kEdgeGrain,
+                      [&](std::size_t b, std::size_t e, int) {
+                        for (std::size_t k = b; k < e; ++k) body(k);
+                      });
+}
+
+/// Elementwise (no cross-index writes) loop over [0, n).
+template <class Fn>
+void for_nodes(std::size_t n, Fn&& body) {
+  smp::ThreadPool::global().parallel_for(
+      0, n, kNodeGrain, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i) body(i);
+      });
+}
+
 }  // namespace
 
 Nsu3dSolver::Nsu3dSolver(const mesh::UnstructuredMesh& m,
@@ -68,6 +114,7 @@ Nsu3dSolver::Nsu3dSolver(const mesh::UnstructuredMesh& m,
   LevelOptions lo;
   lo.num_levels = opt_.mg_levels;
   lo.line_threshold = opt_.line_threshold;
+  lo.color_edges = opt_.color_edges;
   levels_ = build_levels(m, lo);
 
   const std::size_t nl = levels_.size();
@@ -75,6 +122,7 @@ Nsu3dSolver::Nsu3dSolver(const mesh::UnstructuredMesh& m,
   forcing_.resize(nl);
   residual_.resize(nl);
   restricted_snapshot_.resize(nl);
+  work_.resize(nl);
   State uinf{};
   const euler::Cons c5 = euler::to_conservative(freestream_);
   for (int k = 0; k < 5; ++k) uinf[std::size_t(k)] = c5[std::size_t(k)];
@@ -118,109 +166,102 @@ void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
                                    std::vector<State>& res,
                                    bool second_order) {
   const Level& lvl = levels_[std::size_t(l)];
+  Workspace& ws = work_[std::size_t(l)];
   const std::size_t n = std::size_t(lvl.num_nodes);
   res.assign(n, State{});
 
   // Primitive caches.
-  std::vector<Prim> w(n);
-  std::vector<real_t> nut(n), mut(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  ws.w.resize(n);
+  ws.nut.resize(n);
+  ws.mut.resize(n);
+  auto& w = ws.w;
+  auto& nut = ws.nut;
+  auto& mut = ws.mut;
+  for_nodes(n, [&](std::size_t i) {
     w[i] = mean_prim(u[i]);
     nut[i] = u[i][5] / u[i][0];
     mut[i] = opt_.viscous
                  ? eddy_viscosity(w[i].rho, nut[i], mu_lam_ / w[i].rho)
                  : 0.0;
-  }
+  });
 
   // Green-Gauss gradients of [rho, u, v, w, p, nut]: used for second-order
   // reconstruction (fine level) and for the vorticity in the SA source.
   const bool need_grad = second_order || opt_.viscous;
-  std::vector<std::array<Vec3, 6>> grad;
+  auto& grad = ws.grad;
   if (need_grad) {
     grad.assign(n, {});
-    auto q_of = [&](std::size_t i, int c) -> real_t {
-      switch (c) {
-        case 0: return w[i].rho;
-        case 1: return w[i].vel.x;
-        case 2: return w[i].vel.y;
-        case 3: return w[i].vel.z;
-        case 4: return w[i].p;
-        default: return nut[i];
-      }
-    };
-    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+    for_edges_colored(lvl, [&](std::size_t e) {
       const auto [a, b] = lvl.edges[e];
       const Vec3& nrm = lvl.edge_normal[e];
       for (int c = 0; c < 6; ++c) {
-        const real_t qf = 0.5 * (q_of(std::size_t(a), c) + q_of(std::size_t(b), c));
+        const real_t qf =
+            0.5 * (prim_scalar(w[std::size_t(a)], nut[std::size_t(a)], c) +
+                   prim_scalar(w[std::size_t(b)], nut[std::size_t(b)], c));
         grad[std::size_t(a)][std::size_t(c)] += qf * nrm;
         grad[std::size_t(b)][std::size_t(c)] -= qf * nrm;
       }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
+    });
+    for_nodes(n, [&](std::size_t i) {
       Vec3 bn{};
       for (const Vec3& t : lvl.boundary_normal[i]) bn += t;
       for (int c = 0; c < 6; ++c) {
-        grad[i][std::size_t(c)] += q_of(i, c) * bn;
+        grad[i][std::size_t(c)] += prim_scalar(w[i], nut[i], c) * bn;
         grad[i][std::size_t(c)] =
             grad[i][std::size_t(c)] / std::max(lvl.node_volume[i], real_t(1e-300));
       }
-    }
+    });
   }
 
   // Venkatakrishnan limiter for the fine-level reconstruction.
-  std::vector<std::array<real_t, 6>> phi;
+  auto& phi = ws.phi;
   if (second_order) {
-    std::vector<std::array<real_t, 6>> qmin(n), qmax(n);
-    auto q_of = [&](std::size_t i, int c) -> real_t {
-      switch (c) {
-        case 0: return w[i].rho;
-        case 1: return w[i].vel.x;
-        case 2: return w[i].vel.y;
-        case 3: return w[i].vel.z;
-        case 4: return w[i].p;
-        default: return nut[i];
-      }
-    };
-    for (std::size_t i = 0; i < n; ++i)
+    auto& qmin = ws.qmin;
+    auto& qmax = ws.qmax;
+    qmin.resize(n);
+    qmax.resize(n);
+    for_nodes(n, [&](std::size_t i) {
       for (int c = 0; c < 6; ++c)
-        qmin[i][std::size_t(c)] = qmax[i][std::size_t(c)] = q_of(i, c);
-    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+        qmin[i][std::size_t(c)] = qmax[i][std::size_t(c)] =
+            prim_scalar(w[i], nut[i], c);
+    });
+    for_edges_colored(lvl, [&](std::size_t e) {
       const auto [a, b] = lvl.edges[e];
       for (int c = 0; c < 6; ++c) {
-        const real_t qa = q_of(std::size_t(a), c), qb = q_of(std::size_t(b), c);
+        const real_t qa = prim_scalar(w[std::size_t(a)], nut[std::size_t(a)], c);
+        const real_t qb = prim_scalar(w[std::size_t(b)], nut[std::size_t(b)], c);
         qmin[std::size_t(a)][std::size_t(c)] = std::min(qmin[std::size_t(a)][std::size_t(c)], qb);
         qmax[std::size_t(a)][std::size_t(c)] = std::max(qmax[std::size_t(a)][std::size_t(c)], qb);
         qmin[std::size_t(b)][std::size_t(c)] = std::min(qmin[std::size_t(b)][std::size_t(c)], qa);
         qmax[std::size_t(b)][std::size_t(c)] = std::max(qmax[std::size_t(b)][std::size_t(c)], qa);
       }
-    }
+    });
     phi.assign(n, {1, 1, 1, 1, 1, 1});
     auto venkat = [](real_t dplus, real_t dq, real_t eps2) {
       const real_t num = (dplus * dplus + eps2) + 2.0 * dplus * dq;
       const real_t den = dplus * dplus + 2.0 * dq * dq + dplus * dq + eps2;
       return den > 0 ? num / den : 1.0;
     };
-    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+    for_edges_colored(lvl, [&](std::size_t e) {
       const auto [a, b] = lvl.edges[e];
-      const Vec3 dab = 0.5 * (lvl.node_center[std::size_t(b)] -
-                              lvl.node_center[std::size_t(a)]);
+      const Vec3& dab = lvl.edge_dab[e];
+      const real_t eps2 = lvl.edge_eps2[e];
       for (int side = 0; side < 2; ++side) {
         const std::size_t i = std::size_t(side == 0 ? a : b);
         const Vec3 d = side == 0 ? dab : -1.0 * dab;
-        const real_t h = lvl.edge_length[e];
-        const real_t eps2 = std::pow(0.3 * h, 3);
         for (int c = 0; c < 6; ++c) {
           const real_t dq = dot(grad[i][std::size_t(c)], d);
           real_t lim = 1.0;
           if (dq > 1e-14)
-            lim = venkat(qmax[i][std::size_t(c)] - q_of(i, c), dq, eps2);
+            lim = venkat(qmax[i][std::size_t(c)] - prim_scalar(w[i], nut[i], c),
+                         dq, eps2);
           else if (dq < -1e-14)
-            lim = venkat(q_of(i, c) - qmin[i][std::size_t(c)], -dq, eps2);
+            lim = venkat(prim_scalar(w[i], nut[i], c) - qmin[i][std::size_t(c)],
+                         -dq, eps2);
           phi[i][std::size_t(c)] = std::min(phi[i][std::size_t(c)], lim);
         }
       }
-    }
+    });
   }
 
   auto reconstruct = [&](std::size_t i, const Vec3& d, real_t& nut_out) -> Prim {
@@ -237,15 +278,13 @@ void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
   };
 
   // Edge loop: convective + viscous fluxes.
-  for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+  for_edges_colored(lvl, [&](std::size_t e) {
     const auto [a, b] = lvl.edges[e];
-    const Vec3& nrm = lvl.edge_normal[e];
-    const real_t area = norm(nrm);
-    if (area <= 0) continue;
-    const Vec3 nh = nrm / area;
+    const real_t area = lvl.edge_area[e];
+    if (area <= 0) return;
+    const Vec3& nh = lvl.edge_unit[e];
 
-    const Vec3 dab = 0.5 * (lvl.node_center[std::size_t(b)] -
-                            lvl.node_center[std::size_t(a)]);
+    const Vec3& dab = lvl.edge_dab[e];
     real_t nut_l, nut_r;
     const Prim wl = reconstruct(std::size_t(a), dab, nut_l);
     const Prim wr = reconstruct(std::size_t(b), -1.0 * dab, nut_r);
@@ -263,9 +302,7 @@ void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
       const real_t geo = area / lvl.edge_length[e];
       const real_t mu_m = mu_lam_ + 0.5 * (mut[std::size_t(a)] + mut[std::size_t(b)]);
       const real_t cm = mu_m * geo;
-      const Vec3 dv = wr.vel - wl.vel;  // reconstructed == nodal when 1st order
       const Vec3 dvel = w[std::size_t(b)].vel - w[std::size_t(a)].vel;
-      (void)dv;
       res[std::size_t(a)][1] -= cm * dvel.x;
       res[std::size_t(a)][2] -= cm * dvel.y;
       res[std::size_t(a)][3] -= cm * dvel.z;
@@ -293,10 +330,10 @@ void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
       res[std::size_t(a)][5] -= cs * dnt;
       res[std::size_t(b)][5] += cs * dnt;
     }
-  }
+  });
 
   // Boundary closures.
-  for (std::size_t i = 0; i < n; ++i) {
+  for_nodes(n, [&](std::size_t i) {
     const Vec3& fn =
         lvl.boundary_normal[i][std::size_t(mesh::BoundaryTag::Farfield)];
     const real_t fa = norm(fn);
@@ -317,18 +354,18 @@ void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
         for (int c = 0; c < 5; ++c) res[i][std::size_t(c)] += flux[std::size_t(c)];
       }
     }
-  }
+  });
 
   // Strongly-constrained components carry no residual: their equations are
   // replaced by the Dirichlet projection (apply_strong_bcs). Leaving them
   // in would poison the FAS coarse-grid forcing with residuals the fine
   // grid never drives to zero.
   if (l == 0) {
-    for (std::size_t i = 0; i < n; ++i) {
+    for_nodes(n, [&](std::size_t i) {
       if (opt_.viscous && lvl.is_wall_node(index_t(i))) {
         res[i][1] = res[i][2] = res[i][3] = 0;
         res[i][5] = 0;
-        continue;
+        return;
       }
       const Vec3& sn =
           lvl.boundary_normal[i][std::size_t(mesh::BoundaryTag::Symmetry)];
@@ -341,12 +378,12 @@ void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
         res[i][2] = rm.y;
         res[i][3] = rm.z;
       }
-    }
+    });
   }
 
   // SA source terms (production - destruction), volume-scaled.
   if (opt_.viscous) {
-    for (std::size_t i = 0; i < n; ++i) {
+    for_nodes(n, [&](std::size_t i) {
       const real_t d = std::max(lvl.wall_distance[i], real_t(1e-8));
       const real_t nu = mu_lam_ / w[i].rho;
       const real_t nt = std::max<real_t>(nut[i], 0);
@@ -370,37 +407,36 @@ void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
                                      1.0 / 6.0);
       const real_t destr = kCw1 * fw * w[i].rho * (nt / d) * (nt / d);
       res[i][5] += lvl.node_volume[i] * (destr - prod);
-    }
+    });
   }
 }
 
 void Nsu3dSolver::smooth(int l, int steps) {
   const Level& lvl = levels_[std::size_t(l)];
+  Workspace& ws = work_[std::size_t(l)];
   std::vector<State>& u = state_[std::size_t(l)];
   const std::vector<State>& f = forcing_[std::size_t(l)];
   const std::size_t n = std::size_t(lvl.num_nodes);
   const bool second = opt_.second_order && l == 0;
   const bool lines = opt_.smoother == SmootherKind::LineImplicit;
+  smp::ThreadPool& pool = smp::ThreadPool::global();
 
   for (int step = 0; step < steps; ++step) {
     compute_residual(l, u, residual_[std::size_t(l)], second);
     std::vector<State>& r = residual_[std::size_t(l)];
 
-    // Primitive cache + wave-speed sums for local time steps.
-    std::vector<Prim> w(n);
-    std::vector<real_t> nut(n), mut(n), wave(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      w[i] = mean_prim(u[i]);
-      nut[i] = u[i][5] / u[i][0];
-      mut[i] = opt_.viscous
-                   ? eddy_viscosity(w[i].rho, nut[i], mu_lam_ / w[i].rho)
-                   : 0.0;
-    }
-    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+    // Primitive cache + wave-speed sums for local time steps (the cache
+    // in ws was just refreshed by compute_residual from the same u).
+    auto& w = ws.w;
+    auto& nut = ws.nut;
+    auto& mut = ws.mut;
+    ws.wave.assign(n, 0.0);
+    auto& wave = ws.wave;
+    for_edges_colored(lvl, [&](std::size_t e) {
       const auto [a, b] = lvl.edges[e];
-      const real_t area = norm(lvl.edge_normal[e]);
-      if (area <= 0) continue;
-      const Vec3 nh = lvl.edge_normal[e] / area;
+      const real_t area = lvl.edge_area[e];
+      if (area <= 0) return;
+      const Vec3& nh = lvl.edge_unit[e];
       wave[std::size_t(a)] += euler::spectral_radius(w[std::size_t(a)], nh) * area;
       wave[std::size_t(b)] += euler::spectral_radius(w[std::size_t(b)], nh) * area;
       if (opt_.viscous && lvl.edge_length[e] > 0) {
@@ -410,27 +446,28 @@ void Nsu3dSolver::smooth(int l, int steps) {
         wave[std::size_t(a)] += c / w[std::size_t(a)].rho;
         wave[std::size_t(b)] += c / w[std::size_t(b)].rho;
       }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
+    });
+    for_nodes(n, [&](std::size_t i) {
       Vec3 bn{};
       for (const Vec3& t : lvl.boundary_normal[i]) bn += t;
       const real_t ba = norm(bn);
       if (ba > 0) wave[i] += euler::spectral_radius(w[i], bn / ba) * ba;
-    }
+    });
 
     // Diagonal 6x6 blocks.
-    std::vector<BlockMat<6>> diag(n);
-    for (std::size_t i = 0; i < n; ++i) {
+    ws.diag.resize(n);
+    auto& diag = ws.diag;
+    for_nodes(n, [&](std::size_t i) {
       const real_t dt = wave[i] > 0
                             ? opt_.cfl * lvl.node_volume[i] / wave[i]
                             : 1e30;
       diag[i] = BlockMat<6>::diagonal(lvl.node_volume[i] / dt);
-    }
-    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+    });
+    for_edges_colored(lvl, [&](std::size_t e) {
       const auto [a, b] = lvl.edges[e];
-      const real_t area = norm(lvl.edge_normal[e]);
-      if (area <= 0) continue;
-      const Vec3 nh = lvl.edge_normal[e] / area;
+      const real_t area = lvl.edge_area[e];
+      if (area <= 0) return;
+      const Vec3& nh = lvl.edge_unit[e];
       const real_t lam_a = euler::spectral_radius(w[std::size_t(a)], nh) * area;
       const real_t lam_b = euler::spectral_radius(w[std::size_t(b)], nh) * area;
       // dR_a/du_a += 0.5 (A(w_a, +n) + lambda I); likewise for b with -n.
@@ -460,9 +497,9 @@ void Nsu3dSolver::smooth(int l, int steps) {
           diag[s2](5, 5) += cs;
         }
       }
-    }
+    });
     // Farfield linearization keeps boundary nodes well conditioned.
-    for (std::size_t i = 0; i < n; ++i) {
+    for_nodes(n, [&](std::size_t i) {
       Vec3 bn{};
       for (const Vec3& t : lvl.boundary_normal[i]) bn += t;
       const real_t ba = norm(bn);
@@ -470,7 +507,7 @@ void Nsu3dSolver::smooth(int l, int steps) {
         const real_t lam = euler::spectral_radius(w[i], bn / ba) * ba;
         for (int rr = 0; rr < 6; ++rr) diag[i](rr, rr) += 0.5 * lam;
       }
-    }
+    });
 
     auto rhs_of = [&](std::size_t i) {
       BlockVec<6> rhs;
@@ -487,18 +524,33 @@ void Nsu3dSolver::smooth(int l, int steps) {
     };
 
     if (!lines) {
-      for (std::size_t i = 0; i < n; ++i) {
+      for_nodes(n, [&](std::size_t i) {
         BlockLU<6> lu;
-        if (!lu.factor(diag[i])) continue;
+        if (!lu.factor(diag[i])) return;
         apply_update(i, lu.solve(rhs_of(i)));
-      }
+      });
     } else {
       // Block-tridiagonal solve along each implicit line; off-line
-      // couplings stay explicit (Jacobi) as in the paper's scheme.
-      for (const auto& line : lvl.lines.lines) {
+      // couplings stay explicit (Jacobi) as in the paper's scheme. Lines
+      // are node-disjoint, so they solve in parallel; each pool thread
+      // uses its own factorization scratch.
+      if (ws.line_scratch.size() < std::size_t(pool.num_threads()))
+        ws.line_scratch.resize(std::size_t(pool.num_threads()));
+      const auto& all_lines = lvl.lines.lines;
+      pool.parallel_for(0, all_lines.size(), kLineGrain,
+                        [&](std::size_t lb, std::size_t le, int tid) {
+        Workspace::LineScratch& ls = ws.line_scratch[std::size_t(tid)];
+        for (std::size_t li = lb; li < le; ++li) {
+        const auto& line = all_lines[li];
         const std::size_t len = line.size();
-        std::vector<BlockMat<6>> lower(len), dd(len), upper(len);
-        std::vector<BlockVec<6>> rhs(len);
+        ls.lower.assign(len, BlockMat<6>{});
+        ls.dd.assign(len, BlockMat<6>{});
+        ls.upper.assign(len, BlockMat<6>{});
+        ls.rhs.assign(len, BlockVec<6>{});
+        auto& lower = ls.lower;
+        auto& dd = ls.dd;
+        auto& upper = ls.upper;
+        auto& rhs = ls.rhs;
         for (std::size_t k = 0; k < len; ++k) {
           const std::size_t i = std::size_t(line[k]);
           dd[k] = diag[i];
@@ -514,7 +566,7 @@ void Nsu3dSolver::smooth(int l, int steps) {
             const index_t other = ea == i ? eb : ea;
             if (other != j) continue;
             const Vec3 n_out = sgn * lvl.edge_normal[std::size_t(eid)];
-            const real_t area = norm(n_out);
+            const real_t area = lvl.edge_area[std::size_t(eid)];
             if (area <= 0) break;
             const Vec3 nh = n_out / area;
             // dR_i/du_j = 0.5 (A(w_j, n_out) - lambda_j I).
@@ -563,7 +615,8 @@ void Nsu3dSolver::smooth(int l, int steps) {
         if (!linalg::solve_block_tridiag<6>(lower, dd, upper, rhs)) continue;
         for (std::size_t k = 0; k < len; ++k)
           apply_update(std::size_t(line[k]), rhs[k]);
-      }
+        }
+      });
     }
     apply_strong_bcs(l, u);
   }
@@ -573,12 +626,14 @@ void Nsu3dSolver::restrict_to(int l) {
   const Level& fine = levels_[std::size_t(l)];
   const Level& coarse = levels_[std::size_t(l) + 1];
   const auto& map = fine.to_coarse;
+  Workspace& wsc = work_[std::size_t(l) + 1];
   std::vector<State>& uc = state_[std::size_t(l) + 1];
   std::vector<State>& fc = forcing_[std::size_t(l) + 1];
   const std::size_t nc = std::size_t(coarse.num_nodes);
 
   uc.assign(nc, State{});
-  std::vector<real_t> vol(nc, 0.0);
+  wsc.vol.assign(nc, 0.0);
+  std::vector<real_t>& vol = wsc.vol;
   for (index_t i = 0; i < fine.num_nodes; ++i) {
     const std::size_t j = std::size_t(map[std::size_t(i)]);
     const real_t v = fine.node_volume[std::size_t(i)];
@@ -593,7 +648,8 @@ void Nsu3dSolver::restrict_to(int l) {
 
   compute_residual(l, state_[std::size_t(l)], residual_[std::size_t(l)],
                    opt_.second_order && l == 0);
-  std::vector<State> transferred(nc, State{});
+  wsc.transferred.assign(nc, State{});
+  std::vector<State>& transferred = wsc.transferred;
   for (index_t i = 0; i < fine.num_nodes; ++i) {
     const std::size_t j = std::size_t(map[std::size_t(i)]);
     for (int c = 0; c < 6; ++c)
@@ -616,14 +672,14 @@ void Nsu3dSolver::prolong_correction(int l) {
   const std::vector<State>& uc = state_[std::size_t(l) + 1];
   const std::vector<State>& snap = restricted_snapshot_[std::size_t(l) + 1];
   std::vector<State>& uf = state_[std::size_t(l)];
-  for (index_t i = 0; i < fine.num_nodes; ++i) {
-    const std::size_t j = std::size_t(map[std::size_t(i)]);
-    State unew = uf[std::size_t(i)];
+  for_nodes(std::size_t(fine.num_nodes), [&](std::size_t i) {
+    const std::size_t j = std::size_t(map[i]);
+    State unew = uf[i];
     for (int c = 0; c < 6; ++c)
       unew[std::size_t(c)] += opt_.correction_damping *
                               (uc[j][std::size_t(c)] - snap[j][std::size_t(c)]);
-    if (state_valid(unew)) uf[std::size_t(i)] = unew;
-  }
+    if (state_valid(unew)) uf[i] = unew;
+  });
   apply_strong_bcs(l, uf);
 }
 
@@ -641,15 +697,23 @@ void Nsu3dSolver::mg_cycle(int l) {
 real_t Nsu3dSolver::residual_norm() {
   compute_residual(0, state_[0], residual_[0], opt_.second_order);
   const Level& lvl = levels_[0];
-  real_t sum = 0;
+  const std::size_t n = std::size_t(lvl.num_nodes);
+  // Deterministic tree reduction: fixed chunking, partials combined in
+  // chunk order, so the norm is bit-identical for every thread count.
+  const real_t sum = smp::ThreadPool::global().reduce_sum(
+      0, n, kNodeGrain, [&](std::size_t b, std::size_t e) {
+        real_t s = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          const real_t v = lvl.node_volume[i];
+          if (v <= 0) continue;
+          const real_t r = residual_[0][i][0] / v;
+          s += r * r;
+        }
+        return s;
+      });
   std::size_t cnt = 0;
-  for (index_t i = 0; i < lvl.num_nodes; ++i) {
-    const real_t v = lvl.node_volume[std::size_t(i)];
-    if (v <= 0) continue;
-    const real_t r = residual_[0][std::size_t(i)][0] / v;
-    sum += r * r;
-    ++cnt;
-  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (lvl.node_volume[i] > 0) ++cnt;
   return std::sqrt(sum / real_t(std::max<std::size_t>(1, cnt)));
 }
 

@@ -15,6 +15,7 @@
 
 #include "euler/flux.hpp"
 #include "euler/state.hpp"
+#include "linalg/block.hpp"
 #include "nsu3d/level.hpp"
 #include "support/types.hpp"
 
@@ -39,6 +40,9 @@ struct Nsu3dOptions {
   bool second_order = true;
   bool viscous = true;        // include viscous terms + SA (RANS mode)
   real_t line_threshold = 4.0;
+  /// Color-major edge reorder for threaded scatter loops (see Level).
+  /// Disable only for serial edge-order equivalence tests.
+  bool color_edges = true;
 };
 
 struct Forces {
@@ -72,6 +76,12 @@ class Nsu3dSolver {
   Forces integrate_forces() const;
   std::vector<LevelWork> level_work() const;
 
+  /// Residual of `u` on level `l` (public so benchmarks and equivalence
+  /// tests can drive the hot kernel directly). Runs on the shared-memory
+  /// pool; results are bit-identical for every thread count.
+  void compute_residual(int l, const std::vector<State>& u,
+                        std::vector<State>& res, bool second_order);
+
  private:
   Nsu3dOptions opt_;
   euler::FlowConditions cond_;
@@ -85,8 +95,26 @@ class Nsu3dSolver {
   std::vector<std::vector<State>> residual_;
   std::vector<std::vector<State>> restricted_snapshot_;
 
-  void compute_residual(int l, const std::vector<State>& u,
-                        std::vector<State>& res, bool second_order);
+  /// Persistent per-level scratch: steady-state cycles perform no heap
+  /// allocation (vectors keep their capacity across sweeps).
+  struct Workspace {
+    std::vector<euler::Prim> w;           // primitive cache
+    std::vector<real_t> nut, mut, wave;   // SA variable, eddy visc, |lambda|A
+    std::vector<std::array<geom::Vec3, 6>> grad;
+    std::vector<std::array<real_t, 6>> phi, qmin, qmax;
+    std::vector<linalg::BlockMat<6>> diag;
+    /// Block-tridiagonal line solve scratch, one slot per pool thread.
+    struct LineScratch {
+      std::vector<linalg::BlockMat<6>> lower, dd, upper;
+      std::vector<linalg::BlockVec<6>> rhs;
+    };
+    std::vector<LineScratch> line_scratch;
+    // Restriction scratch (coarse-level sized).
+    std::vector<real_t> vol;
+    std::vector<State> transferred;
+  };
+  std::vector<Workspace> work_;
+
   void smooth(int l, int steps);
   void apply_strong_bcs(int l, std::vector<State>& u) const;
   void mg_cycle(int l);

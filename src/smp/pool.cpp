@@ -1,0 +1,155 @@
+#include "smp/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "support/assert.hpp"
+
+namespace columbia::smp {
+
+int env_threads() {
+  if (const char* s = std::getenv("COLUMBIA_THREADS")) {
+    const int n = std::atoi(s);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? int(hw) : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void set_global_threads(int num_threads) {
+  ThreadPool::global().resize(num_threads);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  COLUMBIA_REQUIRE(num_threads >= 1);
+  num_threads_ = num_threads;
+  start_workers();
+}
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+void ThreadPool::start_workers() {
+  workers_.reserve(std::size_t(num_threads_) - 1);
+  for (int t = 1; t < num_threads_; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  stopping_ = false;
+}
+
+void ThreadPool::resize(int num_threads) {
+  COLUMBIA_REQUIRE(num_threads >= 1);
+  if (num_threads == num_threads_) return;
+  stop_workers();
+  num_threads_ = num_threads;
+  start_workers();
+}
+
+void ThreadPool::worker_loop(int tid) {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || (job_.fn != nullptr && next_chunk_ < job_.num_chunks);
+      });
+      if (stopping_) return;
+    }
+    work_chunks(tid);
+  }
+}
+
+void ThreadPool::work_chunks(int tid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (job_.fn != nullptr && next_chunk_ < job_.num_chunks) {
+    const std::size_t c = next_chunk_++;
+    const RangeFn* fn = job_.fn;
+    const std::size_t b = job_.begin + c * job_.grain;
+    const std::size_t e = std::min(job_.end, b + job_.grain);
+    lock.unlock();
+    (*fn)(b, e, tid);
+    lock.lock();
+    if (++chunks_done_ == job_.num_chunks) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_job(const RangeFn& fn, std::size_t begin, std::size_t end,
+                         std::size_t grain, std::size_t chunks) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = Job{&fn, begin, grain, chunks, end};
+    next_chunk_ = 0;
+    chunks_done_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  work_chunks(0);  // the caller participates
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return chunks_done_ == job_.num_chunks; });
+  job_.fn = nullptr;
+}
+
+namespace {
+/// One job at a time; nested or concurrent parallel regions fall back to
+/// the inline serial path (well-defined from any thread, unlike a
+/// recursive try_lock).
+std::atomic_flag g_busy = ATOMIC_FLAG_INIT;
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain, const RangeFn& fn) {
+  if (end <= begin) return;
+  grain = std::max<std::size_t>(1, grain);
+  if (num_threads_ == 1 || end - begin <= grain) {
+    fn(begin, end, 0);
+    return;
+  }
+  if (g_busy.test_and_set(std::memory_order_acquire)) {
+    fn(begin, end, 0);
+    return;
+  }
+  run_job(fn, begin, end, grain, num_chunks(begin, end, grain));
+  g_busy.clear(std::memory_order_release);
+}
+
+real_t ThreadPool::reduce_sum(std::size_t begin, std::size_t end,
+                              std::size_t grain, const ReduceFn& fn) {
+  if (end <= begin) return 0;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = num_chunks(begin, end, grain);
+  std::vector<real_t> partial(chunks, 0.0);
+  // Identical chunking on every path keeps the combine order — and thus
+  // the rounding — independent of the thread count.
+  const bool serial = num_threads_ == 1 || chunks == 1 ||
+                      g_busy.test_and_set(std::memory_order_acquire);
+  if (serial) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t b = begin + c * grain;
+      partial[c] = fn(b, std::min(end, b + grain));
+    }
+  } else {
+    const RangeFn chunked = [&](std::size_t b, std::size_t e, int) {
+      partial[(b - begin) / grain] = fn(b, e);
+    };
+    run_job(chunked, begin, end, grain, chunks);
+    g_busy.clear(std::memory_order_release);
+  }
+  real_t sum = 0;
+  for (std::size_t c = 0; c < chunks; ++c) sum += partial[c];
+  return sum;
+}
+
+}  // namespace columbia::smp

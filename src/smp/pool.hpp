@@ -1,0 +1,107 @@
+// Shared-memory parallel kernel layer: a persistent thread pool driving
+// chunked range loops and deterministic tree reductions.
+//
+// This is the intra-node tier of the paper's hybrid model (Sec. III,
+// Fig. 7): on each Altix node NSU3D threads its edge-based loops with
+// OpenMP while MPI handles the inter-node tier. Here the same role is
+// played by a process-wide pool whose thread count comes from the
+// COLUMBIA_THREADS environment variable (default: hardware concurrency;
+// 1 selects an exact serial path with zero synchronization).
+//
+// Determinism contract: chunk boundaries depend only on (n, grain), never
+// on the thread count, and reduction partials are combined in chunk order
+// on the calling thread. Together with color-major edge ordering (each
+// color's edges touch disjoint nodes, so a node receives at most one
+// contribution per color) every solver kernel produces bit-identical
+// results for any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace columbia::smp {
+
+/// Thread count requested by the environment: COLUMBIA_THREADS if set and
+/// >= 1, else std::thread::hardware_concurrency().
+int env_threads();
+
+class ThreadPool {
+ public:
+  /// Process-wide pool, sized by env_threads() on first use.
+  static ThreadPool& global();
+
+  explicit ThreadPool(int num_threads = env_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Re-sizes the pool (joins and respawns workers). Intended for tests
+  /// and benchmarks that sweep thread counts; must not be called from
+  /// inside a parallel region.
+  void resize(int num_threads);
+
+  /// fn(begin, end, tid) over contiguous chunks of [begin, end). `tid` is
+  /// the index of the executing thread in [0, num_threads()) — use it to
+  /// select per-thread scratch. Chunk boundaries are a pure function of
+  /// the range and grain. Serial path: one inline call fn(begin, end, 0).
+  using RangeFn = std::function<void(std::size_t, std::size_t, int)>;
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const RangeFn& fn);
+
+  /// Deterministic sum-reduction: `fn(begin, end)` returns the partial for
+  /// one chunk; partials are combined in ascending chunk order on the
+  /// calling thread, so the result is bit-identical for every thread
+  /// count (including 1).
+  using ReduceFn = std::function<real_t(std::size_t, std::size_t)>;
+  real_t reduce_sum(std::size_t begin, std::size_t end, std::size_t grain,
+                    const ReduceFn& fn);
+
+ private:
+  struct Job {
+    const RangeFn* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t grain = 1;
+    std::size_t num_chunks = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(int tid);
+  void run_job(const RangeFn& fn, std::size_t begin, std::size_t end,
+               std::size_t grain, std::size_t num_chunks);
+  void work_chunks(int tid);
+  void start_workers();
+  void stop_workers();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;  // num_threads_ - 1 entries
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  Job job_;
+  std::uint64_t generation_ = 0;  // bumped when a job is published
+  std::size_t next_chunk_ = 0;    // guarded by mu_
+  std::size_t chunks_done_ = 0;   // guarded by mu_
+  bool stopping_ = false;
+};
+
+/// Convenience: resize the global pool (tests / thread-sweep benchmarks).
+void set_global_threads(int num_threads);
+
+/// Chunk count used by the pool for a range: ceil((end-begin)/grain).
+inline std::size_t num_chunks(std::size_t begin, std::size_t end,
+                              std::size_t grain) {
+  const std::size_t n = end - begin;
+  return grain == 0 ? 1 : (n + grain - 1) / grain;
+}
+
+}  // namespace columbia::smp

@@ -15,9 +15,10 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Ablation — Fig. 7 hybrid communication strategies",
                 "messages and payloads, thread-to-thread vs master-thread");
+  bench::Reporter rep(argc, argv, "ablation_hybrid_comm");
 
   // A real decomposition of the wing mesh provides the halo pattern.
   mesh::WingMeshSpec spec;
@@ -90,6 +91,7 @@ int main() {
                           2)});
   }
   t.print();
+  rep.table("strategies", t);
 
   std::printf(
       "\npaper shape check: the master-thread strategy issues far fewer,\n"

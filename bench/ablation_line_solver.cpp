@@ -8,9 +8,10 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Ablation — line-implicit vs point-implicit smoothing",
                 "convergence after 40 W-cycles vs wall spacing");
+  bench::Reporter rep(argc, argv, "ablation_line_solver");
 
   euler::FlowConditions fc;
   fc.mach = 0.75;
@@ -43,6 +44,7 @@ int main() {
                Table::num(ratio[1], 6), Table::num(ratio[0] / ratio[1], 1)});
   }
   t.print();
+  rep.table("smoothers", t);
 
   std::printf(
       "\npaper shape check: the line-implicit advantage grows with mesh\n"

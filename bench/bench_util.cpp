@@ -1,10 +1,90 @@
 #include "bench_util.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "geom/components.hpp"
+#include "obs/json.hpp"
 
 namespace columbia::bench {
+
+namespace {
+
+/// True iff the whole cell parses as a finite double ("12", "0.93", "1e3");
+/// "n/a (eq.1)" and friends stay strings.
+bool numeric_cell(const std::string& cell, double& value) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  value = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size();
+}
+
+}  // namespace
+
+Reporter::Reporter(int argc, char** argv, std::string name)
+    : name_(std::move(name)) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+}
+
+void Reporter::meta(const std::string& key, double value) {
+  meta_.push_back({key, true, value, {}});
+}
+
+void Reporter::meta(const std::string& key, const std::string& value) {
+  meta_.push_back({key, false, 0, value});
+}
+
+void Reporter::table(const std::string& series, const Table& t) {
+  if (active()) tables_.emplace_back(series, t);
+}
+
+Reporter::~Reporter() {
+  if (!active()) return;
+  std::ofstream os(path_);
+  if (!os) {
+    std::fprintf(stderr, "reporter: cannot open %s\n", path_.c_str());
+    return;
+  }
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("bench", name_);
+  w.key("meta");
+  w.begin_object();
+  for (const MetaEntry& m : meta_) {
+    w.key(m.key);
+    if (m.is_number)
+      w.value(m.number);
+    else
+      w.value(m.text);
+  }
+  w.end_object();
+  w.key("tables");
+  w.begin_object();
+  for (const auto& [series, t] : tables_) {
+    w.key(series);
+    w.begin_array();
+    for (const auto& row : t.rows()) {
+      w.begin_object();
+      for (std::size_t c = 0; c < row.size() && c < t.header().size(); ++c) {
+        w.key(t.header()[c]);
+        double v = 0;
+        if (numeric_cell(row[c], v))
+          w.value(v);
+        else
+          w.value(row[c]);
+      }
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+  os << "\n";
+  std::printf("[reporter] wrote %s\n", path_.c_str());
+}
 
 Nsu3dFixture Nsu3dFixture::make(int max_levels) {
   Nsu3dFixture fx;
@@ -49,7 +129,8 @@ std::vector<index_t> cart3d_cpu_series() {
 }
 
 void print_interconnect_series(perf::Nsu3dLoadModel& lm, int use_levels,
-                               int first_level) {
+                               int first_level, Reporter* rep,
+                               const std::string& series) {
   perf::MachineModel model;
   const int use = std::min(use_levels, lm.num_levels() - first_level);
   const auto visits = perf::cycle_visits(use, true);
@@ -90,6 +171,7 @@ void print_interconnect_series(perf::Nsu3dLoadModel& lm, int use_levels,
     t.add_row(row);
   }
   t.print();
+  if (rep) rep->table(series, t);
 }
 
 void banner(const std::string& figure, const std::string& what) {

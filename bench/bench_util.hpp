@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cartesian/coarsen.hpp"
@@ -11,6 +12,46 @@
 #include "support/table.hpp"
 
 namespace columbia::bench {
+
+/// Shared machine-readable output for every bench harness. Pass
+/// `--json PATH` to any fig*/sec*/ablation binary and its tables are
+/// mirrored to one JSON document:
+///
+///   {"bench": <name>, "meta": {...}, "tables": {<series>: [<row obj>...]}}
+///
+/// Rows are objects keyed by the table header; cells that parse fully as
+/// numbers are emitted as numbers, everything else as strings. Without
+/// `--json` the reporter is inert. The document is written on destruction.
+class Reporter {
+ public:
+  Reporter(int argc, char** argv, std::string name);
+  ~Reporter();
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  /// True when `--json PATH` was given (tables are being captured).
+  bool active() const { return !path_.empty(); }
+
+  /// Adds a scalar to the "meta" object (numbers stay numbers).
+  void meta(const std::string& key, double value);
+  void meta(const std::string& key, const std::string& value);
+
+  /// Captures `t` under `series` in the "tables" object.
+  void table(const std::string& series, const Table& t);
+
+ private:
+  struct MetaEntry {
+    std::string key;
+    bool is_number = false;
+    double number = 0;
+    std::string text;
+  };
+  std::string name_;
+  std::string path_;
+  std::vector<MetaEntry> meta_;
+  std::vector<std::pair<std::string, Table>> tables_;
+};
 
 /// The NSU3D scalability fixture: a hybrid wing mesh with a full
 /// agglomeration hierarchy, plus the granularity-matched load model scaled
@@ -51,7 +92,9 @@ void banner(const std::string& figure, const std::string& what);
 /// InfiniBand with 1 and 2 OpenMP threads per MPI process, for an n-level
 /// multigrid built from `first_level` (0 = include the finest grid).
 /// The InfiniBand 1-thread column is capped by eq. (1) at 1524 processes.
+/// When `rep` is non-null the table is also captured under `series`.
 void print_interconnect_series(perf::Nsu3dLoadModel& lm, int use_levels,
-                               int first_level = 0);
+                               int first_level = 0, Reporter* rep = nullptr,
+                               const std::string& series = "speedup");
 
 }  // namespace columbia::bench

@@ -13,10 +13,11 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 14a — NSU3D multigrid convergence (real solver)",
                 "72M-pt case in the paper; scaled wing mesh here. "
                 "Residual vs W-cycle for 1/2/3/4-level multigrid + V-cycle.");
+  bench::Reporter rep(argc, argv, "fig14a_nsu3d_convergence");
 
   mesh::WingMeshSpec spec;
   spec.n_wrap = 48;
@@ -78,6 +79,7 @@ int main() {
     t.add_row(row);
   }
   t.print();
+  rep.table("residual_history", t);
 
   std::printf(
       "\npaper shape check: multigrid >> single grid; W >= V; deeper\n"

@@ -11,9 +11,10 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 14b — NSU3D scalability on Columbia (machine model)",
                 "speedup + TFLOP/s vs CPUs, NUMAlink4, 72M-point problem");
+  bench::Reporter rep(argc, argv, "fig14b_nsu3d_scalability");
 
   const auto fx = bench::Nsu3dFixture::make(6);
   std::printf("in-repo mesh %d points; hierarchy:", fx.mesh.num_points());
@@ -47,6 +48,7 @@ int main() {
     t.add_row(row);
   }
   t.print();
+  rep.table("scalability", t);
 
   // Sec. VI wall-clock anchor.
   {

@@ -10,9 +10,10 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 15 — hybrid MPI/OpenMP efficiency at 128 CPUs",
                 "six-level multigrid, NUMAlink vs InfiniBand, 1/2/4 threads");
+  bench::Reporter rep(argc, argv, "fig15_hybrid_efficiency");
 
   const auto fx = bench::Nsu3dFixture::make(6);
   auto lm = fx.load_model();
@@ -58,6 +59,7 @@ int main() {
                Table::num(tt, 2), Table::num(t_base / tt, 3), c.paper});
   }
   t.print();
+  rep.table("efficiency", t);
 
   std::printf(
       "\npaper shape check: modest degradation with threads (quadratic in\n"

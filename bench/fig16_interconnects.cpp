@@ -13,18 +13,19 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 16 — NUMAlink vs InfiniBand, single grid and 6-level MG",
                 "speedup vs CPUs (model over measured decompositions)");
+  bench::Reporter rep(argc, argv, "fig16_interconnects");
 
   const auto fx = bench::Nsu3dFixture::make(6);
   auto lm = fx.load_model();
 
   std::printf("\n(a) single grid (no multigrid):\n");
-  bench::print_interconnect_series(lm, 1);
+  bench::print_interconnect_series(lm, 1, 0, &rep, "single_grid");
 
   std::printf("\n(b) six-level multigrid W-cycle:\n");
-  bench::print_interconnect_series(lm, 6);
+  bench::print_interconnect_series(lm, 6, 0, &rep, "mg6");
 
   std::printf(
       "\npaper shape check: (a) near-identical curves; (b) InfiniBand falls\n"

@@ -8,16 +8,17 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 17 — interconnects, 2- and 3-level multigrid",
                 "speedup vs CPUs");
+  bench::Reporter rep(argc, argv, "fig17_mg23_interconnects");
   const auto fx = bench::Nsu3dFixture::make(6);
   auto lm = fx.load_model();
 
   std::printf("\n(a) two-level multigrid:\n");
-  bench::print_interconnect_series(lm, 2);
+  bench::print_interconnect_series(lm, 2, 0, &rep, "mg2");
   std::printf("\n(b) three-level multigrid:\n");
-  bench::print_interconnect_series(lm, 3);
+  bench::print_interconnect_series(lm, 3, 0, &rep, "mg3");
 
   std::printf(
       "\npaper shape check: InfiniBand already separates with two levels;\n"

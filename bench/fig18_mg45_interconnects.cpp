@@ -6,16 +6,17 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 18 — interconnects, 4- and 5-level multigrid",
                 "speedup vs CPUs");
+  bench::Reporter rep(argc, argv, "fig18_mg45_interconnects");
   const auto fx = bench::Nsu3dFixture::make(6);
   auto lm = fx.load_model();
 
   std::printf("\n(a) four-level multigrid:\n");
-  bench::print_interconnect_series(lm, 4);
+  bench::print_interconnect_series(lm, 4, 0, &rep, "mg4");
   std::printf("\n(b) five-level multigrid:\n");
-  bench::print_interconnect_series(lm, 5);
+  bench::print_interconnect_series(lm, 5, 0, &rep, "mg5");
 
   std::printf(
       "\npaper shape check: monotone growth of the InfiniBand gap from\n"

@@ -12,20 +12,21 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 19 — coarse multigrid levels run alone",
                 "level 2 (9M pts) and level 3 (1M pts), NL vs IB");
+  bench::Reporter rep(argc, argv, "fig19_coarse_levels");
 
   const auto fx = bench::Nsu3dFixture::make(6);
   auto lm = fx.load_model();
 
   std::printf("\n(a) second grid alone (paper: ~9M points; scaled %.2g):\n",
               lm.scaled_nodes(1));
-  bench::print_interconnect_series(lm, 1, /*first_level=*/1);
+  bench::print_interconnect_series(lm, 1, /*first_level=*/1, &rep, "level2");
 
   std::printf("\n(b) third grid alone (paper: ~1M points; scaled %.2g):\n",
               lm.scaled_nodes(2));
-  bench::print_interconnect_series(lm, 1, /*first_level=*/2);
+  bench::print_interconnect_series(lm, 1, /*first_level=*/2, &rep, "level3");
 
   std::printf(
       "\npaper shape check: both fabrics roll off together (no inter-grid\n"

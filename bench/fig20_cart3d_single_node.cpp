@@ -11,9 +11,10 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 20b — Cart3D OpenMP vs MPI on one Columbia node",
                 "25M-cell SSLV, 4-level multigrid, 32-504 CPUs");
+  bench::Reporter rep(argc, argv, "fig20_cart3d_single_node");
 
   const auto fx = bench::Cart3dFixture::make(4);
   std::printf("in-repo mesh: %d cells (%d cut); hierarchy:",
@@ -46,6 +47,7 @@ int main() {
                Table::num(model.cycle_time(loads, mpi).tflops(), 3)});
   }
   t.print();
+  rep.table("speedup", t);
 
   std::printf(
       "\npaper shape check: both near-ideal; OpenMP slope break above 128\n"

@@ -11,9 +11,10 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 21 — Cart3D multigrid vs single grid (NUMAlink)",
                 "25M-cell SSLV, 32-2016 CPUs");
+  bench::Reporter rep(argc, argv, "fig21_cart3d_mg_vs_single");
 
   const auto fx = bench::Cart3dFixture::make(4);
   auto lm = fx.load_model();
@@ -41,6 +42,7 @@ int main() {
                Table::num(model.cycle_time(mg, lay).tflops(), 2)});
   }
   t.print();
+  rep.table("speedup", t);
 
   // The coarse-grid starvation the paper quotes: cells/partition at 2016.
   std::printf("\ncoarsest level: %.3g cells scaled -> %.1f cells/partition "

@@ -11,9 +11,10 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 22 — Cart3D 4-level multigrid, NUMAlink vs InfiniBand",
                 "25M-cell SSLV, pure MPI, eq. (1) caps InfiniBand at 1524");
+  bench::Reporter rep(argc, argv, "fig22_cart3d_interconnects");
 
   const auto fx = bench::Cart3dFixture::make(4);
   auto lm = fx.load_model();
@@ -51,6 +52,7 @@ int main() {
                ib_cell});
   }
   t.print();
+  rep.table("speedup", t);
 
   std::printf(
       "\npaper shape check: curves coincide within one box; InfiniBand's\n"

@@ -11,7 +11,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cart3d/solver.hpp"
@@ -23,6 +25,7 @@
 #include "linalg/block_tridiag.hpp"
 #include "mesh/builders.hpp"
 #include "nsu3d/solver.hpp"
+#include "obs/json.hpp"
 #include "sfc/hilbert.hpp"
 #include "sfc/morton.hpp"
 #include "smp/pool.hpp"
@@ -527,34 +530,38 @@ int run_kernels_json(const std::string& path) {
     smp::set_global_threads(1);
   }
 
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // Same schema as before (bench/hardware_threads/note/kernels), emitted
+  // through the shared obs JSON writer the harness --json reports use.
+  std::ofstream f(path);
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"micro_kernels\",\n");
-  std::fprintf(f, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f,
-               "  \"note\": \"ns_per_edge is wall time per edge (NSU3D) or "
-               "per face (Cart3D); speedup_vs_seed compares against a "
-               "replica of the pre-workspace serial kernel; "
-               "speedup_vs_seed 0 means no seed baseline; thread-sweep "
-               "speedups are bounded by hardware_threads — with a single "
-               "hardware thread the sweep only measures pool overhead\",\n");
-  std::fprintf(f, "  \"kernels\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const KernelRow& r = rows[i];
-    std::fprintf(f,
-                 "    {\"kernel\": \"%s\", \"threads\": %d, "
-                 "\"ns_per_edge\": %.2f, \"speedup_vs_serial\": %.3f, "
-                 "\"speedup_vs_seed\": %.3f}%s\n",
-                 r.kernel.c_str(), r.threads, r.ns_per_edge,
-                 r.speedup_vs_serial, r.speedup_vs_seed,
-                 i + 1 < rows.size() ? "," : "");
+  obs::JsonWriter w(f);
+  w.begin_object();
+  w.kv("bench", "micro_kernels");
+  w.kv("hardware_threads",
+       std::uint64_t(std::thread::hardware_concurrency()));
+  w.kv("note",
+       "ns_per_edge is wall time per edge (NSU3D) or per face (Cart3D); "
+       "speedup_vs_seed compares against a replica of the pre-workspace "
+       "serial kernel; speedup_vs_seed 0 means no seed baseline; "
+       "thread-sweep speedups are bounded by hardware_threads — with a "
+       "single hardware thread the sweep only measures pool overhead");
+  w.key("kernels");
+  w.begin_array();
+  for (const KernelRow& r : rows) {
+    w.begin_object();
+    w.kv("kernel", r.kernel);
+    w.kv("threads", r.threads);
+    w.kv("ns_per_edge", r.ns_per_edge);
+    w.kv("speedup_vs_serial", r.speedup_vs_serial);
+    w.kv("speedup_vs_seed", r.speedup_vs_seed);
+    w.end_object();
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  w.end_array();
+  w.end_object();
+  f << "\n";
   std::printf("wrote %s\n", path.c_str());
   return 0;
 }

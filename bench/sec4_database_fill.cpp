@@ -12,9 +12,10 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Sec IV — parametric aero-database fill",
                 "config-space x wind-space sweep with amortized meshing");
+  bench::Reporter rep(argc, argv, "sec4_database_fill");
 
   driver::DatabaseSpec spec;
   spec.deflections = {-0.15, 0.0, 0.15};          // elevon settings
@@ -42,6 +43,7 @@ int main() {
                Table::num(r.cd, 4), Table::num(r.residual_drop, 4)});
   }
   t.print();
+  rep.table("cases", t);
 
   const auto& st = fill.stats();
   std::printf("\nmeshes generated: %d (one per geometry instance; %d cases)\n",

@@ -12,9 +12,10 @@
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Sec V — SFC coarsening and partition quality",
                 "coarsening ratio, Morton vs Peano-Hilbert, cut-cell weights");
+  bench::Reporter rep(argc, argv, "sec5_sfc_quality");
 
   // Adapted mesh around a small sphere in a large domain (the >7 regime).
   geom::Aabb dom;
@@ -37,6 +38,7 @@ int main() {
     cur = r.coarse;
   }
   t.print();
+  rep.table("coarsening", t);
   std::printf("(paper: ratios in excess of 7 on typical examples)\n\n");
 
   // Partition surface-to-volume vs the ideal cube, Morton vs Hilbert.
@@ -55,6 +57,7 @@ int main() {
     }
   }
   q.print();
+  rep.table("partition_quality", q);
   std::printf("(paper: SFC partitions track the idealized cubic partitioner.\n"
               " The two curves are nearly equivalent at these part counts;\n"
               " the paper prefers Peano-Hilbert in 3D for its unit-step\n"

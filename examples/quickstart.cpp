@@ -6,14 +6,25 @@
 //   4. integrate surface forces.
 //
 // Build and run:  ./build/examples/quickstart
+// Pass `--trace flow.json` to record solver spans and open the file in
+// chrome://tracing or https://ui.perfetto.dev.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "cart3d/solver.hpp"
 #include "geom/components.hpp"
+#include "obs/obs.hpp"
+#include "smp/pool.hpp"
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  if (!trace_path.empty()) obs::set_enabled(true);
+
   // 1. Geometry: a unit-diameter sphere (any watertight TriSurface works;
   //    see geom/components.hpp for wings, bodies and full assemblies).
   const geom::TriSurface sphere = geom::make_sphere({0, 0, 0}, 0.5, 24, 48);
@@ -50,5 +61,14 @@ int main() {
   const cart3d::Forces forces = solver.integrate_forces();
   std::printf("forces: CL=%.4f CD=%.4f (pressure only, inviscid)\n",
               forces.cl, forces.cd);
+
+  if (!trace_path.empty()) {
+    smp::ThreadPool::global().publish_stats();
+    if (obs::write_chrome_trace_file(trace_path))
+      std::printf("trace: %zu events -> %s\n", obs::num_trace_events(),
+                  trace_path.c_str());
+    else
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+  }
   return 0;
 }

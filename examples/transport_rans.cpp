@@ -2,14 +2,31 @@
 // solver — the paper's workhorse (Secs. III, VI): hybrid viscous mesh with
 // geometrically stretched wall layers, Spalart-Allmaras turbulence model,
 // line-implicit agglomeration multigrid with W-cycles.
+//
+// Observability flags:
+//   --trace out.json   record solver spans (view in chrome://tracing)
+//   --jsonl conv.jsonl stream per-cycle residual/forces/level timings
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "mesh/builders.hpp"
 #include "nsu3d/solver.hpp"
+#include "obs/obs.hpp"
+#include "smp/pool.hpp"
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path, jsonl_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--jsonl") == 0) jsonl_path = argv[i + 1];
+  }
+  if (!trace_path.empty() || !jsonl_path.empty()) obs::set_enabled(true);
+  if (!jsonl_path.empty() && !obs::open_jsonl(jsonl_path))
+    std::fprintf(stderr, "telemetry: cannot open %s\n", jsonl_path.c_str());
+
   // Hybrid viscous wing mesh: hexahedral stretched wall layers under a
   // prismatic outer block (the DPW-style case of the paper's Fig. 13).
   mesh::WingMeshSpec spec;
@@ -51,5 +68,18 @@ int main() {
 
   const nsu3d::Forces f = solver.integrate_forces();
   std::printf("wing pressure forces: CL=%.4f CD=%.4f\n", f.cl, f.cd);
+
+  if (!jsonl_path.empty()) {
+    obs::close_jsonl();
+    std::printf("telemetry: per-cycle JSONL -> %s\n", jsonl_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    smp::ThreadPool::global().publish_stats();
+    if (obs::write_chrome_trace_file(trace_path))
+      std::printf("trace: %zu events -> %s\n", obs::num_trace_events(),
+                  trace_path.c_str());
+    else
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+  }
   return 0;
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "smp/pool.hpp"
 #include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace columbia::cart3d {
 
@@ -80,11 +82,15 @@ Cart3DSolver::Cart3DSolver(const CartMesh& mesh,
     forcing_[l].assign(n, Cons{});
     residual_[l].assign(n, Cons{});
   }
+  if (obs::enabled())
+    obs::gauge("cart3d.cut_cells")
+        .set(std::uint64_t(hierarchy_.levels[0].num_cut_cells()));
 }
 
 void Cart3DSolver::compute_residual(int level, const std::vector<Cons>& u,
                                     std::vector<Cons>& res,
                                     bool second_order) {
+  OBS_SPAN("cart3d.residual", "level", level);
   const CartMesh& m = hierarchy_.levels[std::size_t(level)];
   Workspace& ws = work_[std::size_t(level)];
   const std::size_t n = m.cells.size();
@@ -246,6 +252,7 @@ void Cart3DSolver::compute_residual(int level, const std::vector<Cons>& u,
 }
 
 void Cart3DSolver::smooth(int level, int steps) {
+  OBS_SPAN("cart3d.smooth", "level", level);
   const CartMesh& m = hierarchy_.levels[std::size_t(level)];
   Workspace& ws = work_[std::size_t(level)];
   std::vector<Cons>& u = state_[std::size_t(level)];
@@ -371,17 +378,29 @@ void Cart3DSolver::prolong_correction(int level) {
 }
 
 void Cart3DSolver::mg_cycle(int level) {
+  OBS_SPAN("cart3d.level", "level", level);
+  OBS_COUNT("cart3d.level_visits", 1);
+  // Exclusive per-level timing: the stretch before the coarse-grid visit
+  // and the stretch after it, but never the recursion itself.
+  const bool timed = !level_seconds_.empty();
+  WallTimer t;
   const int nl = num_levels();
   smooth(level, opt_.smooth_steps);
-  if (level + 1 >= nl) return;
+  if (level + 1 >= nl) {
+    if (timed) level_seconds_[std::size_t(level)] += t.seconds();
+    return;
+  }
   restrict_to(level);
+  if (timed) level_seconds_[std::size_t(level)] += t.seconds();
   const int visits = (opt_.cycle == CycleType::W && level + 2 < nl) ? 2 : 1;
   for (int v = 0; v < visits; ++v) mg_cycle(level + 1);
+  t.reset();
   prolong_correction(level);
   // One post-smoothing step damps the high-frequency error injected by the
   // piecewise-constant prolongation; without it the limited second-order
   // fine operator amplifies the injected jumps.
   if (opt_.post_smooth_steps > 0) smooth(level, opt_.post_smooth_steps);
+  if (timed) level_seconds_[std::size_t(level)] += t.seconds();
 }
 
 real_t Cart3DSolver::residual_norm() {
@@ -405,17 +424,38 @@ real_t Cart3DSolver::residual_norm() {
 }
 
 real_t Cart3DSolver::run_cycle() {
+  OBS_SPAN("cart3d.cycle");
   mg_cycle(0);
   return residual_norm();
 }
 
 std::vector<real_t> Cart3DSolver::solve(int max_cycles, real_t orders) {
+  OBS_SPAN("cart3d.solve");
   std::vector<real_t> history;
   history.push_back(residual_norm());
   const real_t target = history[0] * std::pow(10.0, -orders);
   for (int c = 0; c < max_cycles; ++c) {
+    // Telemetry is read-only on the solve: timings and force integrals
+    // never feed back into the state, so histories stay bit-identical
+    // with the JSONL sink open or closed.
+    const bool telem = obs::telemetry_active();
+    if (telem) level_seconds_.assign(hierarchy_.levels.size(), 0.0);
     const real_t r = run_cycle();
     history.push_back(r);
+    if (telem) {
+      obs::CycleRecord rec;
+      rec.solver = "cart3d";
+      rec.cycle = c + 1;
+      rec.residual = double(r);
+      const Forces f = integrate_forces();
+      rec.has_forces = true;
+      rec.cl = double(f.cl);
+      rec.cd = double(f.cd);
+      for (std::size_t l = 0; l < level_seconds_.size(); ++l)
+        rec.levels.push_back({int(l), level_seconds_[l]});
+      obs::emit_cycle(rec);
+    }
+    level_seconds_.clear();
     if (r <= target) break;
   }
   return history;

@@ -110,6 +110,10 @@ class Cart3DSolver {
   };
   std::vector<Workspace> work_;
 
+  /// Exclusive per-level seconds for the current cycle; sized only while
+  /// convergence telemetry is active (obs JSONL sink open), else empty.
+  std::vector<double> level_seconds_;
+
   void smooth(int level, int steps);
   void mg_cycle(int level);
   void restrict_to(int level);        // level -> level+1 (state + forcing)

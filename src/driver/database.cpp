@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
@@ -25,6 +26,7 @@ std::vector<CaseResult> DatabaseFill::run() {
     // and mesh generation are paid once per instance and amortized over
     // every wind point below it (paper Sec. IV).
     WallTimer mesh_timer;
+    obs::SpanGuard mesh_span("driver.mesh_gen");
     const geom::TriSurface surface = spec_.geometry(defl);
     geom::Aabb domain = spec_.domain;
     if (!domain.valid()) {
@@ -35,9 +37,12 @@ std::vector<CaseResult> DatabaseFill::run() {
     }
     const cartesian::CartMesh mesh =
         cartesian::build_cart_mesh(surface, domain, spec_.mesh_options);
+    mesh_span.close();
     stats_.mesh_gen_seconds += mesh_timer.seconds();
     stats_.meshes_generated += 1;
     stats_.total_cells_meshed += double(mesh.num_cells());
+    OBS_COUNT("driver.meshes", 1);
+    OBS_COUNT("driver.cells_meshed", mesh.num_cells());
 
     // Wind-space sweep on this instance, simultaneous_cases at a time.
     std::vector<WindPoint> winds;
@@ -52,6 +57,8 @@ std::vector<CaseResult> DatabaseFill::run() {
       while (true) {
         const std::size_t k = next.fetch_add(1);
         if (k >= winds.size()) break;
+        OBS_SPAN("driver.case", "case", std::int64_t(k));
+        OBS_COUNT("driver.cases", 1);
         const WindPoint& wp = winds[k];
         euler::FlowConditions fc;
         fc.mach = wp.mach;

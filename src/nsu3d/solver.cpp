@@ -6,8 +6,10 @@
 #include "euler/jacobian.hpp"
 #include "linalg/block.hpp"
 #include "linalg/block_tridiag.hpp"
+#include "obs/obs.hpp"
 #include "smp/pool.hpp"
 #include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace columbia::nsu3d {
 
@@ -165,6 +167,7 @@ void Nsu3dSolver::apply_strong_bcs(int l, std::vector<State>& u) const {
 void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
                                    std::vector<State>& res,
                                    bool second_order) {
+  OBS_SPAN("nsu3d.residual", "level", l);
   const Level& lvl = levels_[std::size_t(l)];
   Workspace& ws = work_[std::size_t(l)];
   const std::size_t n = std::size_t(lvl.num_nodes);
@@ -412,6 +415,7 @@ void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
 }
 
 void Nsu3dSolver::smooth(int l, int steps) {
+  OBS_SPAN("nsu3d.smooth", "level", l);
   const Level& lvl = levels_[std::size_t(l)];
   Workspace& ws = work_[std::size_t(l)];
   std::vector<State>& u = state_[std::size_t(l)];
@@ -537,6 +541,7 @@ void Nsu3dSolver::smooth(int l, int steps) {
       if (ws.line_scratch.size() < std::size_t(pool.num_threads()))
         ws.line_scratch.resize(std::size_t(pool.num_threads()));
       const auto& all_lines = lvl.lines.lines;
+      OBS_COUNT("nsu3d.line_solves", all_lines.size());
       pool.parallel_for(0, all_lines.size(), kLineGrain,
                         [&](std::size_t lb, std::size_t le, int tid) {
         Workspace::LineScratch& ls = ws.line_scratch[std::size_t(tid)];
@@ -684,14 +689,26 @@ void Nsu3dSolver::prolong_correction(int l) {
 }
 
 void Nsu3dSolver::mg_cycle(int l) {
+  OBS_SPAN("nsu3d.level", "level", l);
+  OBS_COUNT("nsu3d.level_visits", 1);
+  // Exclusive per-level timing: the stretch before the coarse-grid visit
+  // and the stretch after it, but never the recursion itself.
+  const bool timed = !level_seconds_.empty();
+  WallTimer t;
   const int nl = num_levels();
   smooth(l, opt_.smooth_steps);
-  if (l + 1 >= nl) return;
+  if (l + 1 >= nl) {
+    if (timed) level_seconds_[std::size_t(l)] += t.seconds();
+    return;
+  }
   restrict_to(l);
+  if (timed) level_seconds_[std::size_t(l)] += t.seconds();
   const int visits = (opt_.cycle == CycleType::W && l + 2 < nl) ? 2 : 1;
   for (int v = 0; v < visits; ++v) mg_cycle(l + 1);
+  t.reset();
   prolong_correction(l);
   if (opt_.post_smooth_steps > 0) smooth(l, opt_.post_smooth_steps);
+  if (timed) level_seconds_[std::size_t(l)] += t.seconds();
 }
 
 real_t Nsu3dSolver::residual_norm() {
@@ -718,15 +735,36 @@ real_t Nsu3dSolver::residual_norm() {
 }
 
 real_t Nsu3dSolver::run_cycle() {
+  OBS_SPAN("nsu3d.cycle");
   mg_cycle(0);
   return residual_norm();
 }
 
 std::vector<real_t> Nsu3dSolver::solve(int max_cycles, real_t orders) {
+  OBS_SPAN("nsu3d.solve");
   std::vector<real_t> history{residual_norm()};
   const real_t target = history[0] * std::pow(10.0, -orders);
   for (int c = 0; c < max_cycles; ++c) {
+    // Telemetry is read-only on the solve: timings and force integrals
+    // never feed back into the state, so histories stay bit-identical
+    // with the JSONL sink open or closed.
+    const bool telem = obs::telemetry_active();
+    if (telem) level_seconds_.assign(levels_.size(), 0.0);
     history.push_back(run_cycle());
+    if (telem) {
+      obs::CycleRecord rec;
+      rec.solver = "nsu3d";
+      rec.cycle = c + 1;
+      rec.residual = double(history.back());
+      const Forces f = integrate_forces();
+      rec.has_forces = true;
+      rec.cl = double(f.cl);
+      rec.cd = double(f.cd);
+      for (std::size_t l = 0; l < level_seconds_.size(); ++l)
+        rec.levels.push_back({int(l), level_seconds_[l]});
+      obs::emit_cycle(rec);
+    }
+    level_seconds_.clear();
     if (history.back() <= target) break;
   }
   return history;

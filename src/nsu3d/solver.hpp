@@ -115,6 +115,10 @@ class Nsu3dSolver {
   };
   std::vector<Workspace> work_;
 
+  /// Exclusive per-level seconds for the current cycle; sized only while
+  /// convergence telemetry is active (obs JSONL sink open), else empty.
+  std::vector<double> level_seconds_;
+
   void smooth(int l, int steps);
   void apply_strong_bcs(int l, std::vector<State>& u) const;
   void mg_cycle(int l);

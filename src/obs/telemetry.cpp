@@ -1,0 +1,86 @@
+#include "obs/telemetry.hpp"
+
+#if COLUMBIA_OBS_ENABLED
+
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace columbia::obs {
+
+namespace {
+
+struct Sink {
+  std::mutex mu;
+  std::ofstream os;
+  bool open = false;
+};
+
+Sink& sink() {
+  static Sink* s = new Sink;  // outlives static dtors
+  return *s;
+}
+
+}  // namespace
+
+bool open_jsonl(const std::string& path) {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.open) s.os.close();
+  s.os.open(path, std::ios::trunc);
+  s.open = bool(s.os);
+  return s.open;
+}
+
+void close_jsonl() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.open) s.os.close();
+  s.open = false;
+}
+
+bool jsonl_open() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.open;
+}
+
+bool telemetry_active() { return enabled() && jsonl_open(); }
+
+void emit_cycle(const CycleRecord& rec) {
+  if (!enabled()) return;
+  // Render outside the sink lock; write the finished line atomically.
+  std::ostringstream line;
+  JsonWriter w(line);
+  w.begin_object();
+  w.kv("solver", rec.solver);
+  w.kv("cycle", rec.cycle);
+  w.kv("residual", rec.residual);
+  if (rec.has_forces) {
+    w.kv("cl", rec.cl);
+    w.kv("cd", rec.cd);
+  }
+  if (!rec.levels.empty()) {
+    w.key("levels").begin_array();
+    for (const LevelSeconds& l : rec.levels) {
+      w.begin_object();
+      w.kv("level", l.level);
+      w.kv("seconds", l.seconds);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.open) return;
+  s.os << line.str() << '\n';
+  s.os.flush();
+}
+
+}  // namespace columbia::obs
+
+#endif  // COLUMBIA_OBS_ENABLED

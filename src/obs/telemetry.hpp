@@ -1,0 +1,53 @@
+// Solver convergence telemetry: per-cycle residual, force coefficients,
+// and per-level wall-clock timings streamed as JSONL (one JSON object per
+// line) to a process-wide sink.
+//
+// A record is emitted by the solvers' solve() loops only when the runtime
+// observability flag is on AND a sink has been opened, so steady-state
+// solves pay nothing by default. Emission is timing/IO only — it never
+// feeds back into the arithmetic, so residual histories are bit-identical
+// with telemetry on or off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"  // enabled() / kCompiledIn
+
+namespace columbia::obs {
+
+struct LevelSeconds {
+  int level = 0;
+  double seconds = 0;  // wall time attributed to this level in the cycle
+};
+
+struct CycleRecord {
+  std::string solver;  // "nsu3d" or "cart3d"
+  int cycle = 0;       // 1-based cycle index within the solve
+  double residual = 0;
+  bool has_forces = false;
+  double cl = 0, cd = 0;
+  std::vector<LevelSeconds> levels;
+};
+
+#if COLUMBIA_OBS_ENABLED
+/// Opens (truncates) the JSONL sink; false on failure. Thread-safe.
+bool open_jsonl(const std::string& path);
+void close_jsonl();
+bool jsonl_open();
+
+/// True when a record emitted now would actually be written.
+bool telemetry_active();
+
+/// Appends one line to the sink (no-op when inactive). Thread-safe:
+/// records from simultaneous solves interleave whole lines.
+void emit_cycle(const CycleRecord& rec);
+#else
+inline bool open_jsonl(const std::string&) { return false; }
+inline void close_jsonl() {}
+inline bool jsonl_open() { return false; }
+constexpr bool telemetry_active() { return false; }
+inline void emit_cycle(const CycleRecord&) {}
+#endif
+
+}  // namespace columbia::obs

@@ -1,0 +1,120 @@
+// Hierarchical scoped spans recorded into per-thread buffers and exported
+// as Chrome trace_event JSON (load in chrome://tracing or Perfetto).
+//
+// Recording path: an `OBS_SPAN("name")` guard pushes a begin event on
+// construction and an end event on destruction into the calling thread's
+// buffer. Buffers are append-only chunked arrays published with a single
+// release store per event — no locks on the hot path, and readers
+// (exporters) synchronize through one acquire load of the event count.
+//
+// Cost model: with the runtime flag off (the default) a span is one
+// relaxed atomic load and a branch; compiled out (-DCOLUMBIA_OBS=OFF) it
+// is nothing at all. Tracing never touches solver arithmetic, so residual
+// histories are bit-identical with tracing on or off at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#ifndef COLUMBIA_OBS_ENABLED
+#define COLUMBIA_OBS_ENABLED 1
+#endif
+
+namespace columbia::obs {
+
+/// True when the observability layer is compiled in (COLUMBIA_OBS=ON).
+inline constexpr bool kCompiledIn = COLUMBIA_OBS_ENABLED != 0;
+
+#if COLUMBIA_OBS_ENABLED
+/// Master runtime switch for spans and metrics. Defaults to off unless the
+/// COLUMBIA_TRACE environment variable is set to a nonzero value.
+bool enabled();
+void set_enabled(bool on);
+#else
+constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+#endif
+
+/// One begin or end event. `name` and `arg_name` must be string literals
+/// (or otherwise outlive the recorder); `tid` is filled in at export time
+/// from the owning buffer.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  // optional integer argument on 'B' events
+  std::int64_t arg_value = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint32_t tid = 0;
+  char phase = 'B';  // 'B' or 'E'
+};
+
+#if COLUMBIA_OBS_ENABLED
+void record_span_event(const char* name, char phase,
+                       const char* arg_name = nullptr,
+                       std::int64_t arg_value = 0);
+#else
+inline void record_span_event(const char*, char, const char* = nullptr,
+                              std::int64_t = 0) {}
+#endif
+
+/// RAII span. Prefer the OBS_SPAN macro (obs/obs.hpp), which names the
+/// guard for you.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (enabled()) {
+      name_ = name;
+      record_span_event(name, 'B');
+    }
+  }
+  SpanGuard(const char* name, const char* arg_name, std::int64_t arg_value) {
+    if (enabled()) {
+      name_ = name;
+      record_span_event(name, 'B', arg_name, arg_value);
+    }
+  }
+  ~SpanGuard() {
+    if (name_) record_span_event(name_, 'E');
+  }
+
+  /// Ends the span before scope exit (idempotent); the destructor then
+  /// records nothing.
+  void close() {
+    if (name_) {
+      record_span_event(name_, 'E');
+      name_ = nullptr;
+    }
+  }
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  // Non-null iff a begin event was recorded: the end event pairs with it
+  // even if tracing is switched off mid-span.
+  const char* name_ = nullptr;
+};
+
+/// Total events recorded across all thread buffers.
+std::size_t num_trace_events();
+
+/// All recorded events, per-buffer in program order (so each thread's
+/// begin/end events are properly nested), with `tid` filled in.
+std::vector<TraceEvent> trace_snapshot();
+
+/// Writes the Chrome trace_event JSON document ("traceEvents" array of
+/// duration events). Timestamps are microseconds relative to the recorder
+/// epoch, at nanosecond resolution.
+void write_chrome_trace(std::ostream& os);
+
+/// Convenience: write_chrome_trace to `path`; false if the file cannot be
+/// opened.
+bool write_chrome_trace_file(const std::string& path);
+
+/// Clears every buffer's event count (buffers themselves persist, so
+/// thread-local recorders stay valid). Call only while no spans are open.
+void reset_trace();
+
+}  // namespace columbia::obs

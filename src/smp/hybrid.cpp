@@ -2,11 +2,34 @@
 
 #include <map>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace columbia::smp {
 
 namespace {
+
+/// Attributes the runtime-wide traffic delta of one exchange to the named
+/// per-strategy counters (halo.<strategy>.messages / .bytes).
+class TrafficScope {
+ public:
+  TrafficScope(Runtime& rt, const char* messages_name, const char* bytes_name)
+      : rt_(rt), messages_name_(messages_name), bytes_name_(bytes_name) {
+    if (obs::enabled()) before_ = rt_.total_traffic();
+  }
+  ~TrafficScope() {
+    if (!obs::enabled()) return;
+    const TrafficStats after = rt_.total_traffic();
+    obs::counter(messages_name_).add(after.messages - before_.messages);
+    obs::counter(bytes_name_).add(after.bytes - before_.bytes);
+  }
+
+ private:
+  Runtime& rt_;
+  const char* messages_name_;
+  const char* bytes_name_;
+  TrafficStats before_{};
+};
 
 /// Serves requests whose owner lives in the same rank by direct copy.
 void serve_local(const PartitionData& data, const RequestLists& requests,
@@ -25,6 +48,9 @@ void serve_local(const PartitionData& data, const RequestLists& requests,
 
 PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
                                         const RequestLists& requests) {
+  OBS_SPAN("halo.exchange.t2t");
+  OBS_COUNT("halo.t2t.exchanges", 1);
+  TrafficScope traffic(rt, "halo.t2t.messages", "halo.t2t.bytes");
   const index_t nparts = index_t(data.size());
   COLUMBIA_REQUIRE(index_t(requests.size()) == nparts);
   COLUMBIA_REQUIRE(rt.size() == int(nparts));
@@ -70,6 +96,9 @@ PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
 PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
                                      const RequestLists& requests,
                                      int threads_per_process) {
+  OBS_SPAN("halo.exchange.master");
+  OBS_COUNT("halo.master.exchanges", 1);
+  TrafficScope traffic(rt, "halo.master.messages", "halo.master.bytes");
   const index_t nparts = index_t(data.size());
   COLUMBIA_REQUIRE(index_t(requests.size()) == nparts);
   COLUMBIA_REQUIRE(threads_per_process >= 1);

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace columbia::smp {
 
@@ -29,6 +32,7 @@ void set_global_threads(int num_threads) {
 ThreadPool::ThreadPool(int num_threads) {
   COLUMBIA_REQUIRE(num_threads >= 1);
   num_threads_ = num_threads;
+  stats_ = std::make_unique<AtomicThreadStats[]>(std::size_t(num_threads_));
   start_workers();
 }
 
@@ -56,7 +60,36 @@ void ThreadPool::resize(int num_threads) {
   if (num_threads == num_threads_) return;
   stop_workers();
   num_threads_ = num_threads;
+  stats_ = std::make_unique<AtomicThreadStats[]>(std::size_t(num_threads_));
   start_workers();
+}
+
+std::vector<ThreadPool::ThreadStats> ThreadPool::thread_stats() const {
+  std::vector<ThreadStats> out(static_cast<std::size_t>(num_threads_));
+  for (int t = 0; t < num_threads_; ++t) {
+    out[std::size_t(t)].chunks = stats_[t].chunks.load(std::memory_order_relaxed);
+    out[std::size_t(t)].busy_ns =
+        stats_[t].busy_ns.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void ThreadPool::reset_stats() {
+  for (int t = 0; t < num_threads_; ++t) {
+    stats_[t].chunks.store(0, std::memory_order_relaxed);
+    stats_[t].busy_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::publish_stats() const {
+  if (!obs::enabled()) return;
+  obs::gauge("pool.threads").set(std::uint64_t(num_threads_));
+  const std::vector<ThreadStats> snap = thread_stats();
+  for (int t = 0; t < num_threads_; ++t) {
+    const std::string prefix = "pool.thread" + std::to_string(t);
+    obs::gauge(prefix + ".chunks").set(snap[std::size_t(t)].chunks);
+    obs::gauge(prefix + ".busy_ns").set(snap[std::size_t(t)].busy_ns);
+  }
 }
 
 void ThreadPool::worker_loop(int tid) {
@@ -73,6 +106,11 @@ void ThreadPool::worker_loop(int tid) {
 }
 
 void ThreadPool::work_chunks(int tid) {
+  // Utilization accounting is gated on the runtime obs flag so the
+  // tracing-off path costs one relaxed load per chunk.
+  const bool timed = obs::enabled();
+  std::uint64_t chunks = 0;
+  std::uint64_t busy_ns = 0;
   std::unique_lock<std::mutex> lock(mu_);
   while (job_.fn != nullptr && next_chunk_ < job_.num_chunks) {
     const std::size_t c = next_chunk_++;
@@ -80,14 +118,26 @@ void ThreadPool::work_chunks(int tid) {
     const std::size_t b = job_.begin + c * job_.grain;
     const std::size_t e = std::min(job_.end, b + job_.grain);
     lock.unlock();
-    (*fn)(b, e, tid);
+    if (timed) {
+      const std::uint64_t t0 = WallTimer::now_ns();
+      (*fn)(b, e, tid);
+      busy_ns += WallTimer::now_ns() - t0;
+      ++chunks;
+    } else {
+      (*fn)(b, e, tid);
+    }
     lock.lock();
     if (++chunks_done_ == job_.num_chunks) done_cv_.notify_all();
+  }
+  if (timed && chunks > 0) {
+    stats_[tid].chunks.fetch_add(chunks, std::memory_order_relaxed);
+    stats_[tid].busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
   }
 }
 
 void ThreadPool::run_job(const RangeFn& fn, std::size_t begin, std::size_t end,
                          std::size_t grain, std::size_t chunks) {
+  OBS_COUNT("pool.jobs", 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = Job{&fn, begin, grain, chunks, end};

@@ -16,9 +16,12 @@
 // results for any thread count.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -65,6 +68,20 @@ class ThreadPool {
   real_t reduce_sum(std::size_t begin, std::size_t end, std::size_t grain,
                     const ReduceFn& fn);
 
+  /// Per-thread utilization counters, recorded only while obs::enabled()
+  /// is on (otherwise the pool pays a branch per job). Reset by resize().
+  struct ThreadStats {
+    std::uint64_t chunks = 0;   // chunks this thread executed
+    std::uint64_t busy_ns = 0;  // wall time spent inside chunk bodies
+  };
+  std::vector<ThreadStats> thread_stats() const;
+  void reset_stats();
+
+  /// Copies the per-thread counters into the obs metrics registry as
+  /// gauges pool.thread<k>.chunks / pool.thread<k>.busy_ns plus
+  /// pool.threads; call before exporting metrics.
+  void publish_stats() const;
+
  private:
   struct Job {
     const RangeFn* fn = nullptr;
@@ -83,6 +100,13 @@ class ThreadPool {
 
   int num_threads_ = 1;
   std::vector<std::thread> workers_;  // num_threads_ - 1 entries
+
+  /// Cache-line-spaced so per-thread bumps never false-share.
+  struct alignas(64) AtomicThreadStats {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+  std::unique_ptr<AtomicThreadStats[]> stats_;  // num_threads_ entries
 
   std::mutex mu_;
   std::condition_variable start_cv_;

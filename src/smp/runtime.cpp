@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace columbia::smp {
 
 int Comm::size() const { return rt_->size(); }
@@ -60,6 +62,12 @@ void Runtime::post(int from, int to, int tag, std::span<const real_t> data) {
   boxes_[std::size_t(to)].cv.notify_all();
   stats_[std::size_t(from)].messages += 1;
   stats_[std::size_t(from)].bytes += data.size() * sizeof(real_t);
+  OBS_COUNT("smp.messages", 1);
+  OBS_COUNT("smp.bytes", data.size() * sizeof(real_t));
+  if (obs::enabled()) {
+    static obs::Histogram& h = obs::histogram("smp.message_bytes");
+    h.observe(std::uint64_t(data.size() * sizeof(real_t)));
+  }
 }
 
 std::vector<real_t> Runtime::take(int me, int from, int tag) {

@@ -26,6 +26,11 @@ class Table {
   /// Formats a double with `digits` significant decimals.
   static std::string num(double v, int digits = 3);
 
+  /// Read access for exporters (the bench JSON reporter serializes the
+  /// same tables the console prints).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

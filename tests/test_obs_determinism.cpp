@@ -1,0 +1,115 @@
+// Tracing must be numerically invisible: residual histories are
+// bit-identical with observability on or off, at any thread count, and
+// with the convergence-telemetry JSONL sink open. This is the contract
+// that lets the instrumentation live permanently in the solver hot paths.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cart3d/solver.hpp"
+#include "geom/components.hpp"
+#include "mesh/builders.hpp"
+#include "nsu3d/solver.hpp"
+#include "obs/obs.hpp"
+#include "smp/pool.hpp"
+
+namespace columbia {
+namespace {
+
+/// Restores single-threaded, observability-off state when a test exits.
+struct Guard {
+  ~Guard() {
+    obs::close_jsonl();
+    obs::set_enabled(false);
+    obs::reset_trace();
+    obs::reset_metrics();
+    smp::set_global_threads(1);
+  }
+};
+
+mesh::UnstructuredMesh small_wing() {
+  mesh::WingMeshSpec spec;
+  spec.n_wrap = 24;
+  spec.n_span = 3;
+  spec.n_normal = 10;
+  spec.wall_spacing = 1e-4;
+  return mesh::make_wing_mesh(spec);
+}
+
+std::vector<real_t> run_nsu3d(const mesh::UnstructuredMesh& m, int threads,
+                              bool tracing, const std::string& jsonl = {}) {
+  Guard guard;
+  smp::set_global_threads(threads);
+  obs::set_enabled(tracing);
+  // open_jsonl is a stub returning false when compiled out; the history
+  // comparison is still meaningful there (everything is a no-op).
+  if (!jsonl.empty() && obs::kCompiledIn) EXPECT_TRUE(obs::open_jsonl(jsonl));
+  euler::FlowConditions fc;
+  fc.mach = 0.75;
+  fc.reynolds = 3e6;
+  nsu3d::Nsu3dOptions o;
+  o.mg_levels = 3;
+  nsu3d::Nsu3dSolver s(m, fc, o);
+  return s.solve(5, 10);
+}
+
+std::vector<real_t> run_cart3d(const cartesian::CartMesh& m, int threads,
+                               bool tracing) {
+  Guard guard;
+  smp::set_global_threads(threads);
+  obs::set_enabled(tracing);
+  euler::FlowConditions fc;
+  fc.mach = 0.3;
+  fc.alpha_deg = 2.0;
+  cart3d::SolverOptions o;
+  o.mg_levels = 2;
+  cart3d::Cart3DSolver s(m, fc, o);
+  return s.solve(10, 6);
+}
+
+cartesian::CartMesh small_sphere_mesh() {
+  const geom::TriSurface sphere = geom::make_sphere({0, 0, 0}, 0.4, 12, 24);
+  geom::Aabb domain;
+  domain.expand({-1.5, -1.5, -1.5});
+  domain.expand({1.5, 1.5, 1.5});
+  cartesian::CartMeshOptions opt;
+  opt.base_n = 8;
+  opt.max_level = 1;
+  return cartesian::build_cart_mesh(sphere, domain, opt);
+}
+
+void expect_equal(const std::vector<real_t>& a, const std::vector<real_t>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i])
+      << "cycle " << i;
+}
+
+TEST(ObsDeterminism, Nsu3dTracingOnVsOff) {
+  const auto m = small_wing();
+  expect_equal(run_nsu3d(m, 1, false), run_nsu3d(m, 1, true));
+}
+
+TEST(ObsDeterminism, Nsu3dTracedHistoryThreadInvariant) {
+  const auto m = small_wing();
+  expect_equal(run_nsu3d(m, 1, true), run_nsu3d(m, 3, true));
+}
+
+TEST(ObsDeterminism, Nsu3dTelemetrySinkInvisible) {
+  const auto m = small_wing();
+  const std::string path = testing::TempDir() + "obs_det_nsu3d.jsonl";
+  expect_equal(run_nsu3d(m, 2, true), run_nsu3d(m, 2, true, path));
+}
+
+TEST(ObsDeterminism, Cart3dTracingOnVsOff) {
+  const auto m = small_sphere_mesh();
+  expect_equal(run_cart3d(m, 1, false), run_cart3d(m, 1, true));
+}
+
+TEST(ObsDeterminism, Cart3dTracedHistoryThreadInvariant) {
+  const auto m = small_sphere_mesh();
+  expect_equal(run_cart3d(m, 1, true), run_cart3d(m, 4, true));
+}
+
+}  // namespace
+}  // namespace columbia

@@ -3,14 +3,41 @@
 // (elevon deflections) x wind-space (Mach, alpha) sweep with mesh
 // generation amortized per geometry instance and several cases in flight
 // simultaneously.
+//
+// Resilience flags:
+//   --faults "seed=7,case_throw=0.3"  arm deterministic fault injection
+//                       (COLUMBIA_FAULTS grammar); crashed/diverged cases
+//                       are retried, degraded, and recorded, and the
+//                       sweep still completes
+//   --manifest sweep.txt  durable per-case manifest: re-running with the
+//                       same spec resumes after completed cases
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "driver/database.hpp"
+#include "resil/faults.hpp"
 #include "support/table.hpp"
 
 using namespace columbia;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string faults_spec, manifest_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) faults_spec = argv[i + 1];
+    if (std::strcmp(argv[i], "--manifest") == 0) manifest_path = argv[i + 1];
+  }
+  if (!faults_spec.empty()) {
+    try {
+      resil::FaultInjector::global().configure(
+          resil::parse_fault_spec(faults_spec));
+      std::printf("faults: armed with '%s'\n", faults_spec.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "faults: %s\n", e.what());
+      return 1;
+    }
+  }
+
   driver::DatabaseSpec spec;
   spec.deflections = {-0.1, 0.0, 0.1};  // elevon settings (radians)
   spec.machs = {1.6, 2.6};
@@ -24,17 +51,18 @@ int main() {
   spec.solver_options.second_order = false;
   spec.max_cycles = 15;
   spec.simultaneous_cases = 6;
+  spec.manifest_path = manifest_path;
 
   driver::DatabaseFill fill(spec);
   std::printf("filling %d-entry database (3 elevon settings x 6 wind "
               "points)...\n\n", fill.num_cases());
   const auto results = fill.run();
 
-  Table t({"elevon", "Mach", "alpha", "CL", "CD"});
+  Table t({"elevon", "Mach", "alpha", "CL", "CD", "status"});
   for (const auto& r : results)
     t.add_row({Table::num(r.deflection_rad, 2), Table::num(r.wind.mach, 1),
                Table::num(r.wind.alpha_deg, 1), Table::num(r.cl, 4),
-               Table::num(r.cd, 4)});
+               Table::num(r.cd, 4), driver::case_status_name(r.status)});
   t.print();
 
   const auto& st = fill.stats();
@@ -42,6 +70,13 @@ int main() {
               "solve wall time %.1f s\n",
               st.meshes_generated, st.cases_run,
               st.cells_per_minute() / 1e6, st.solve_seconds);
+  if (st.cases_recovered + st.cases_degraded + st.cases_failed +
+          st.cases_skipped >
+      0)
+    std::printf("resilience: %d recovered, %d degraded, %d failed, "
+                "%d resumed from manifest\n",
+                st.cases_recovered, st.cases_degraded, st.cases_failed,
+                st.cases_skipped);
   std::printf("(a guidance team would now 'fly' the vehicle through this "
               "database)\n");
   return 0;

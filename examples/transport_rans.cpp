@@ -6,6 +6,9 @@
 // Observability flags:
 //   --trace out.json   record solver spans (view in chrome://tracing)
 //   --jsonl conv.jsonl stream per-cycle residual/forces/level timings
+// Resilience flags:
+//   --faults "seed=42,state_nan=0.2@2"  arm deterministic fault injection
+//                      (COLUMBIA_FAULTS grammar) and run the guarded solve
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -13,19 +16,31 @@
 #include "mesh/builders.hpp"
 #include "nsu3d/solver.hpp"
 #include "obs/obs.hpp"
+#include "resil/faults.hpp"
 #include "smp/pool.hpp"
 
 using namespace columbia;
 
 int main(int argc, char** argv) {
-  std::string trace_path, jsonl_path;
+  std::string trace_path, jsonl_path, faults_spec;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
     if (std::strcmp(argv[i], "--jsonl") == 0) jsonl_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--faults") == 0) faults_spec = argv[i + 1];
   }
   if (!trace_path.empty() || !jsonl_path.empty()) obs::set_enabled(true);
   if (!jsonl_path.empty() && !obs::open_jsonl(jsonl_path))
     std::fprintf(stderr, "telemetry: cannot open %s\n", jsonl_path.c_str());
+  if (!faults_spec.empty()) {
+    try {
+      resil::FaultInjector::global().configure(
+          resil::parse_fault_spec(faults_spec));
+      std::printf("faults: armed with '%s'\n", faults_spec.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "faults: %s\n", e.what());
+      return 1;
+    }
+  }
 
   // Hybrid viscous wing mesh: hexahedral stretched wall layers under a
   // prismatic outer block (the DPW-style case of the paper's Fig. 13).
@@ -60,7 +75,15 @@ int main(int argc, char** argv) {
   std::printf(" nodes; implicit lines up to %d points\n",
               solver.level(0).lines.longest());
 
-  const auto history = solver.solve(120, 4);
+  std::vector<real_t> history;
+  if (!faults_spec.empty()) {
+    const resil::GuardedSolveResult gr = solver.solve_guarded(120, 4);
+    history = gr.history;
+    std::printf("guarded solve: outcome=%s rollbacks=%d backoffs=%d\n",
+                resil::outcome_name(gr.outcome), gr.rollbacks, gr.backoffs);
+  } else {
+    history = solver.solve(120, 4);
+  }
   std::printf("RANS convergence: %.3e -> %.3e in %zu W-cycles "
               "(%.2f orders)\n",
               history.front(), history.back(), history.size() - 1,

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "resil/faults.hpp"
 #include "smp/pool.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
@@ -426,7 +429,61 @@ real_t Cart3DSolver::residual_norm() {
 real_t Cart3DSolver::run_cycle() {
   OBS_SPAN("cart3d.cycle");
   mg_cycle(0);
+  // Fault-injection hook (COLUMBIA_FAULTS state_nan): poison one energy
+  // entry after the cycle's updates so the guard sees a non-finite
+  // residual. The site is a per-attempt counter, so a rolled-back retry
+  // of the same cycle draws a fresh decision instead of re-faulting.
+  resil::FaultInjector& inj = resil::FaultInjector::global();
+  if (inj.armed()) {
+    const std::uint64_t site = cycle_seq_++;
+    if (inj.should_inject(resil::FaultKind::StateNaN, site)) {
+      auto& u = state_[0];
+      const std::size_t i =
+          std::size_t(resil::site_hash(inj.spec().seed, site) % u.size());
+      u[i][4] = std::numeric_limits<real_t>::quiet_NaN();
+    }
+  }
   return residual_norm();
+}
+
+resil::Checkpoint Cart3DSolver::make_checkpoint(
+    std::uint64_t cycle, std::span<const real_t> history) const {
+  resil::Checkpoint c;
+  c.solver = "cart3d";
+  c.cycle = cycle;
+  c.state_stride = 5;
+  c.history.assign(history.begin(), history.end());
+  c.state.reserve(state_[0].size() * 5);
+  for (const euler::Cons& s : state_[0])
+    c.state.insert(c.state.end(), s.begin(), s.end());
+  return c;
+}
+
+void Cart3DSolver::restore_checkpoint(const resil::Checkpoint& c) {
+  if (c.solver != "cart3d")
+    throw std::runtime_error("checkpoint solver mismatch: got '" + c.solver +
+                             "', expected 'cart3d'");
+  if (c.state_stride != 5 || c.state.size() != state_[0].size() * 5)
+    throw std::runtime_error("checkpoint state size mismatch for cart3d grid");
+  auto& u = state_[0];
+  for (std::size_t i = 0; i < u.size(); ++i)
+    for (std::size_t k = 0; k < 5; ++k) u[i][k] = c.state[i * 5 + k];
+}
+
+resil::GuardedSolveResult Cart3DSolver::solve_guarded(
+    int max_cycles, real_t orders, const resil::GuardedSolveOptions& options) {
+  OBS_SPAN("cart3d.solve_guarded");
+  resil::GuardCallbacks cb;
+  cb.solver = "cart3d";
+  cb.residual_norm = [this] { return residual_norm(); };
+  cb.run_cycle = [this] { return run_cycle(); };
+  cb.snapshot = [this](std::uint64_t cycle, std::span<const real_t> history) {
+    return make_checkpoint(cycle, history);
+  };
+  cb.restore = [this](const resil::Checkpoint& c) { restore_checkpoint(c); };
+  // The RK smoother has no relaxation knob; backoff acts on CFL alone.
+  cb.backoff = [this, &options] { opt_.cfl *= options.guard.cfl_backoff; };
+  return resil::guarded_solve(options, max_cycles, orders, cb);
 }
 
 std::vector<real_t> Cart3DSolver::solve(int max_cycles, real_t orders) {

@@ -10,11 +10,14 @@
 #pragma once
 
 #include <array>
+#include <span>
 #include <vector>
 
 #include "cartesian/coarsen.hpp"
 #include "euler/flux.hpp"
 #include "euler/state.hpp"
+#include "resil/checkpoint.hpp"
+#include "resil/guard.hpp"
 #include "support/types.hpp"
 
 namespace columbia::cart3d {
@@ -61,6 +64,25 @@ class Cart3DSolver {
   /// Cycles until the residual drops by `orders` orders of magnitude or
   /// `max_cycles` elapse; returns the history of residual norms.
   std::vector<real_t> solve(int max_cycles, real_t orders = 6);
+
+  /// Guarded solve: per-cycle NaN/blow-up detection, rollback to the last
+  /// good checkpoint with CFL backoff, optional durable checkpoint +
+  /// resume (see resil::guarded_solve). With faults off and no recovery
+  /// triggered, the history matches solve() bit for bit.
+  resil::GuardedSolveResult solve_guarded(
+      int max_cycles, real_t orders = 6,
+      const resil::GuardedSolveOptions& options = {});
+
+  /// Snapshot of the fine-grid state plus cycle/history. Coarse-level
+  /// state is rebuilt by the next cycle's FAS restriction, so restoring
+  /// this checkpoint reproduces the uninterrupted residual history
+  /// bit-identically.
+  resil::Checkpoint make_checkpoint(std::uint64_t cycle,
+                                    std::span<const real_t> history) const;
+
+  /// Restores a checkpoint from make_checkpoint; throws std::runtime_error
+  /// when the solver tag or state size does not match this configuration.
+  void restore_checkpoint(const resil::Checkpoint& c);
 
   const std::vector<euler::Cons>& solution() const { return state_[0]; }
   const cartesian::CartMesh& mesh(int level = 0) const {
@@ -113,6 +135,11 @@ class Cart3DSolver {
   /// Exclusive per-level seconds for the current cycle; sized only while
   /// convergence telemetry is active (obs JSONL sink open), else empty.
   std::vector<double> level_seconds_;
+
+  /// Monotone cycle-attempt counter: the site id for mid-cycle fault
+  /// injection (resil::FaultKind::StateNaN), advanced every run_cycle so a
+  /// rolled-back retry draws a fresh injection decision.
+  std::uint64_t cycle_seq_ = 0;
 
   void smooth(int level, int steps);
   void mg_cycle(int level);

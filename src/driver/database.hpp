@@ -9,11 +9,13 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cart3d/solver.hpp"
 #include "cartesian/cart_mesh.hpp"
 #include "geom/components.hpp"
+#include "resil/guard.hpp"
 #include "support/types.hpp"
 
 namespace columbia::driver {
@@ -24,12 +26,22 @@ struct WindPoint {
   real_t beta_deg;
 };
 
+/// How a case finished. A multi-day sweep must survive individual bad
+/// cases: a crash or divergence is retried, then re-run in a heavily
+/// dissipative degraded configuration, and only then recorded as failed —
+/// the sweep always completes with a per-case verdict.
+enum class CaseStatus { Ok, Recovered, Degraded, Failed };
+const char* case_status_name(CaseStatus s);
+
 struct CaseResult {
   real_t deflection_rad;
   WindPoint wind;
   real_t cl = 0, cd = 0;
   real_t residual_drop = 0;  // final/initial residual
   int cycles = 0;
+  CaseStatus status = CaseStatus::Ok;
+  int attempts = 1;          // solver runs spent on this case
+  bool from_manifest = false;  // reloaded from a previous sweep's manifest
 };
 
 struct DatabaseSpec {
@@ -52,11 +64,28 @@ struct DatabaseSpec {
   /// Cases run simultaneously (paper: "as many cases ... as memory
   /// permits"); maps to worker threads here.
   int simultaneous_cases = 4;
+
+  // --- Resilience ----------------------------------------------------------
+  /// Guard settings for each case's solve (divergence rollback + backoff).
+  resil::GuardOptions guard;
+  /// Extra full-configuration re-runs after a crashed or diverged case.
+  int case_retries = 1;
+  /// After the retry budget, re-run once on a single grid, first order,
+  /// at half CFL and record the case as Degraded instead of Failed.
+  bool allow_degraded = true;
+  /// Sweep manifest file; empty disables durable resume. Cases found in
+  /// the manifest are skipped and their recorded results reused, so a
+  /// killed sweep restarted with the same spec continues where it died.
+  std::string manifest_path;
 };
 
 struct DatabaseStats {
   int meshes_generated = 0;
   int cases_run = 0;
+  int cases_recovered = 0;  // finished after in-solve rollback or re-run
+  int cases_degraded = 0;   // finished only in the degraded configuration
+  int cases_failed = 0;     // exhausted every recovery path
+  int cases_skipped = 0;    // reloaded from the sweep manifest
   double mesh_gen_seconds = 0;
   double solve_seconds = 0;
   double total_cells_meshed = 0;

@@ -79,13 +79,22 @@ real_t AeroDatabase::cd(real_t d, real_t m, real_t a) const {
   return interp(cd_, d, m, a);
 }
 
-real_t trim_alpha(const AeroDatabase& db, real_t deflection, real_t mach,
-                  real_t target_cl) {
+TrimResult trim_alpha_checked(const AeroDatabase& db, real_t deflection,
+                              real_t mach, real_t target_cl) {
   real_t lo = db.alphas().front();
   real_t hi = db.alphas().back();
-  // CL is monotone in alpha over sane databases; bisect, clamp otherwise.
-  const bool increasing = db.cl(deflection, mach, hi) >=
-                          db.cl(deflection, mach, lo);
+  const real_t cl_at_lo = db.cl(deflection, mach, lo);
+  const real_t cl_at_hi = db.cl(deflection, mach, hi);
+
+  TrimResult out;
+  out.cl_lo = std::min(cl_at_lo, cl_at_hi);
+  out.cl_hi = std::max(cl_at_lo, cl_at_hi);
+  // Unreachable target: report the saturation instead of hiding it behind
+  // a clamped angle that flies a different CL than requested.
+  out.in_range = target_cl >= out.cl_lo && target_cl <= out.cl_hi;
+
+  // CL is monotone in alpha over sane databases; bisect, saturate otherwise.
+  const bool increasing = cl_at_hi >= cl_at_lo;
   for (int it = 0; it < 60; ++it) {
     const real_t mid = 0.5 * (lo + hi);
     const real_t c = db.cl(deflection, mach, mid);
@@ -94,7 +103,14 @@ real_t trim_alpha(const AeroDatabase& db, real_t deflection, real_t mach,
     else
       hi = mid;
   }
-  return 0.5 * (lo + hi);
+  out.alpha_deg = 0.5 * (lo + hi);
+  out.achieved_cl = db.cl(deflection, mach, out.alpha_deg);
+  return out;
+}
+
+real_t trim_alpha(const AeroDatabase& db, real_t deflection, real_t mach,
+                  real_t target_cl) {
+  return trim_alpha_checked(db, deflection, mach, target_cl).alpha_deg;
 }
 
 std::vector<FlightState> fly_longitudinal(const AeroDatabase& db,

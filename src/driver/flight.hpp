@@ -38,8 +38,26 @@ class AeroDatabase {
                 real_t a) const;
 };
 
+/// Outcome of a trim solve. When the requested CL lies outside what the
+/// database can deliver over its alpha range, `in_range` is false and
+/// `alpha_deg` sits at the saturated endpoint: the caller decides whether
+/// a saturated control is acceptable instead of flying a silently wrong
+/// trim. `cl_lo`/`cl_hi` report the achievable CL envelope at this
+/// (deflection, Mach) so the error can be diagnosed without re-querying.
+struct TrimResult {
+  real_t alpha_deg = 0;
+  real_t achieved_cl = 0;
+  bool in_range = true;
+  real_t cl_lo = 0, cl_hi = 0;
+};
+
 /// Angle of attack that achieves `target_cl` at the given Mach and
-/// deflection (bisection over the database's alpha range; clamped result).
+/// deflection (bisection over the database's alpha range), with explicit
+/// flagging of unreachable targets.
+TrimResult trim_alpha_checked(const AeroDatabase& db, real_t deflection,
+                              real_t mach, real_t target_cl);
+
+/// Convenience wrapper returning only the (possibly saturated) angle.
 real_t trim_alpha(const AeroDatabase& db, real_t deflection, real_t mach,
                   real_t target_cl);
 

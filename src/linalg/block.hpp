@@ -109,6 +109,22 @@ struct BlockMat {
   }
 };
 
+/// Structured outcome of a block factorization. When a pivot is singular
+/// to working precision, records WHICH column failed and how small the
+/// best available pivot was, so callers can report the offending
+/// point/equation instead of a bare boolean.
+struct FactorStatus {
+  bool ok = true;
+  int pivot_col = -1;      ///< column of the failing pivot (-1 when ok)
+  real_t pivot_mag = 0;    ///< |best pivot| found in that column
+
+  explicit operator bool() const { return ok; }
+
+  static FactorStatus singular(int col, real_t mag) {
+    return FactorStatus{false, col, mag};
+  }
+};
+
 /// LU factorization with partial pivoting, stored compactly.
 ///
 /// Factor once per nonlinear iteration, then apply to many right-hand
@@ -118,9 +134,10 @@ class BlockLU {
  public:
   BlockLU() = default;
 
-  /// Factors `m`. Returns false when a pivot falls below `tiny` (singular
-  /// to working precision); the factorization must not be used then.
-  bool factor(const BlockMat<N>& m, real_t tiny = 1e-300) {
+  /// Factors `m`. When a pivot falls below `tiny` (singular to working
+  /// precision) the status reports the failing column and pivot size and
+  /// the factorization must not be used.
+  FactorStatus factor_status(const BlockMat<N>& m, real_t tiny = 1e-300) {
     lu_ = m;
     for (int i = 0; i < N; ++i) piv_[std::size_t(i)] = i;
     for (int col = 0; col < N; ++col) {
@@ -133,7 +150,7 @@ class BlockLU {
           p = r;
         }
       }
-      if (best < tiny) return false;
+      if (best < tiny) return FactorStatus::singular(col, best);
       if (p != col) {
         for (int c = 0; c < N; ++c) std::swap(lu_(p, c), lu_(col, c));
         std::swap(piv_[std::size_t(p)], piv_[std::size_t(col)]);
@@ -145,7 +162,12 @@ class BlockLU {
         for (int c = col + 1; c < N; ++c) lu_(r, c) -= f * lu_(col, c);
       }
     }
-    return true;
+    return FactorStatus{};
+  }
+
+  /// Boolean convenience wrapper around factor_status.
+  bool factor(const BlockMat<N>& m, real_t tiny = 1e-300) {
+    return factor_status(m, tiny).ok;
   }
 
   /// Solves L U x = P b.

@@ -14,23 +14,36 @@
 
 namespace columbia::linalg {
 
+/// Structured outcome of a block-tridiagonal solve: when a pivot block is
+/// singular, records the line row whose eliminated diagonal failed plus
+/// the FactorStatus detail, so the caller can name the offending point.
+struct TridiagStatus {
+  FactorStatus factor{};
+  std::size_t row = 0;  ///< line index of the singular diagonal block
+
+  bool ok() const { return factor.ok; }
+  explicit operator bool() const { return factor.ok; }
+};
+
 /// Solves the block-tridiagonal system
 ///   lower[i] x[i-1] + diag[i] x[i] + upper[i] x[i+1] = rhs[i]
 /// for i = 0..n-1 (lower[0] and upper[n-1] ignored), in place in `rhs`.
 ///
-/// Returns false if any pivot block is singular; `rhs` is then undefined.
+/// On a singular pivot block the status identifies the failing row and
+/// column; `rhs` is then undefined.
 template <int N>
-bool solve_block_tridiag(std::vector<BlockMat<N>>& lower,
-                         std::vector<BlockMat<N>>& diag,
-                         std::vector<BlockMat<N>>& upper,
-                         std::vector<BlockVec<N>>& rhs) {
+TridiagStatus solve_block_tridiag_status(std::vector<BlockMat<N>>& lower,
+                                         std::vector<BlockMat<N>>& diag,
+                                         std::vector<BlockMat<N>>& upper,
+                                         std::vector<BlockVec<N>>& rhs) {
   const std::size_t n = diag.size();
   COLUMBIA_REQUIRE(lower.size() == n && upper.size() == n && rhs.size() == n);
-  if (n == 0) return true;
+  if (n == 0) return TridiagStatus{};
 
   // Forward elimination: diag[i] <- diag[i] - lower[i] D^{-1}_{i-1} upper[i-1]
   std::vector<BlockLU<N>> lu(n);
-  if (!lu[0].factor(diag[0])) return false;
+  FactorStatus fs = lu[0].factor_status(diag[0]);
+  if (!fs) return TridiagStatus{fs, 0};
   for (std::size_t i = 1; i < n; ++i) {
     // G = lower[i] * inv(diag[i-1]) computed via transpose-free column solves:
     // we need lower[i] * D^{-1}, i.e. solve D^T y = lower[i]^T per row. It is
@@ -40,7 +53,8 @@ bool solve_block_tridiag(std::vector<BlockMat<N>>& lower,
     diag[i] -= lower[i] * m;
     const BlockVec<N> r = lu[i - 1].solve(rhs[i - 1]);
     rhs[i] -= lower[i] * r;
-    if (!lu[i].factor(diag[i])) return false;
+    fs = lu[i].factor_status(diag[i]);
+    if (!fs) return TridiagStatus{fs, i};
   }
 
   // Back substitution.
@@ -50,7 +64,16 @@ bool solve_block_tridiag(std::vector<BlockMat<N>>& lower,
     r -= upper[i] * rhs[i + 1];
     rhs[i] = lu[i].solve(r);
   }
-  return true;
+  return TridiagStatus{};
+}
+
+/// Boolean convenience wrapper around solve_block_tridiag_status.
+template <int N>
+bool solve_block_tridiag(std::vector<BlockMat<N>>& lower,
+                         std::vector<BlockMat<N>>& diag,
+                         std::vector<BlockMat<N>>& upper,
+                         std::vector<BlockVec<N>>& rhs) {
+  return solve_block_tridiag_status<N>(lower, diag, upper, rhs).ok();
 }
 
 /// Scalar tridiagonal convenience overload (used in tests and the 1-equation

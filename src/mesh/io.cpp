@@ -1,9 +1,11 @@
 #include "mesh/io.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 #include "support/assert.hpp"
 
@@ -116,6 +118,20 @@ UnstructuredMesh read_binary(std::istream& in) {
 
 void write_vtk(std::ostream& out, const UnstructuredMesh& m,
                std::span<const PointField> fields) {
+  // Refuse non-finite data up front: a NaN deep inside a multi-GB ASCII
+  // file is far harder to diagnose than an error naming the culprit, and
+  // downstream viewers silently misrender it.
+  for (std::size_t i = 0; i < m.points.size(); ++i) {
+    const geom::Vec3& p = m.points[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y) || !std::isfinite(p.z))
+      throw std::runtime_error("write_vtk: non-finite coordinate at point " +
+                               std::to_string(i));
+  }
+  for (const PointField& f : fields)
+    for (std::size_t i = 0; i < f.values.size(); ++i)
+      if (!std::isfinite(f.values[i]))
+        throw std::runtime_error("write_vtk: non-finite value in field '" +
+                                 f.name + "' at point " + std::to_string(i));
   out << "# vtk DataFile Version 3.0\n"
       << "columbia-repro mesh\nASCII\nDATASET UNSTRUCTURED_GRID\n";
   out << "POINTS " << m.num_points() << " double\n";

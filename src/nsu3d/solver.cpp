@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "euler/jacobian.hpp"
 #include "linalg/block.hpp"
 #include "linalg/block_tridiag.hpp"
 #include "obs/obs.hpp"
+#include "resil/faults.hpp"
 #include "smp/pool.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
@@ -530,7 +533,12 @@ void Nsu3dSolver::smooth(int l, int steps) {
     if (!lines) {
       for_nodes(n, [&](std::size_t i) {
         BlockLU<6> lu;
-        if (!lu.factor(diag[i])) return;
+        if (!lu.factor_status(diag[i])) {
+          // Singular point: skip the update (explicit fallback) but make
+          // the event visible instead of silently dropping it.
+          OBS_COUNT("resil.singular_pivot", 1);
+          return;
+        }
         apply_update(i, lu.solve(rhs_of(i)));
       });
     } else {
@@ -617,7 +625,10 @@ void Nsu3dSolver::smooth(int l, int steps) {
             break;
           }
         }
-        if (!linalg::solve_block_tridiag<6>(lower, dd, upper, rhs)) continue;
+        if (!linalg::solve_block_tridiag_status<6>(lower, dd, upper, rhs)) {
+          OBS_COUNT("resil.singular_pivot", 1);
+          continue;
+        }
         for (std::size_t k = 0; k < len; ++k)
           apply_update(std::size_t(line[k]), rhs[k]);
         }
@@ -737,7 +748,63 @@ real_t Nsu3dSolver::residual_norm() {
 real_t Nsu3dSolver::run_cycle() {
   OBS_SPAN("nsu3d.cycle");
   mg_cycle(0);
+  // Fault-injection hook (COLUMBIA_FAULTS state_nan): poison one energy
+  // entry after the cycle's updates so the guard sees a non-finite
+  // residual. The site is a per-attempt counter, so a rolled-back retry
+  // of the same cycle draws a fresh decision instead of re-faulting.
+  resil::FaultInjector& inj = resil::FaultInjector::global();
+  if (inj.armed()) {
+    const std::uint64_t site = cycle_seq_++;
+    if (inj.should_inject(resil::FaultKind::StateNaN, site)) {
+      auto& u = state_[0];
+      const std::size_t i =
+          std::size_t(resil::site_hash(inj.spec().seed, site) % u.size());
+      u[i][4] = std::numeric_limits<real_t>::quiet_NaN();
+    }
+  }
   return residual_norm();
+}
+
+resil::Checkpoint Nsu3dSolver::make_checkpoint(
+    std::uint64_t cycle, std::span<const real_t> history) const {
+  resil::Checkpoint c;
+  c.solver = "nsu3d";
+  c.cycle = cycle;
+  c.state_stride = 6;
+  c.history.assign(history.begin(), history.end());
+  c.state.reserve(state_[0].size() * 6);
+  for (const State& s : state_[0])
+    c.state.insert(c.state.end(), s.begin(), s.end());
+  return c;
+}
+
+void Nsu3dSolver::restore_checkpoint(const resil::Checkpoint& c) {
+  if (c.solver != "nsu3d")
+    throw std::runtime_error("checkpoint solver mismatch: got '" + c.solver +
+                             "', expected 'nsu3d'");
+  if (c.state_stride != 6 || c.state.size() != state_[0].size() * 6)
+    throw std::runtime_error("checkpoint state size mismatch for nsu3d grid");
+  auto& u = state_[0];
+  for (std::size_t i = 0; i < u.size(); ++i)
+    for (std::size_t k = 0; k < 6; ++k) u[i][k] = c.state[i * 6 + k];
+}
+
+resil::GuardedSolveResult Nsu3dSolver::solve_guarded(
+    int max_cycles, real_t orders, const resil::GuardedSolveOptions& options) {
+  OBS_SPAN("nsu3d.solve_guarded");
+  resil::GuardCallbacks cb;
+  cb.solver = "nsu3d";
+  cb.residual_norm = [this] { return residual_norm(); };
+  cb.run_cycle = [this] { return run_cycle(); };
+  cb.snapshot = [this](std::uint64_t cycle, std::span<const real_t> history) {
+    return make_checkpoint(cycle, history);
+  };
+  cb.restore = [this](const resil::Checkpoint& c) { restore_checkpoint(c); };
+  cb.backoff = [this, &options] {
+    opt_.cfl *= options.guard.cfl_backoff;
+    opt_.relax *= options.guard.relax_backoff;
+  };
+  return resil::guarded_solve(options, max_cycles, orders, cb);
 }
 
 std::vector<real_t> Nsu3dSolver::solve(int max_cycles, real_t orders) {

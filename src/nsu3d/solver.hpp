@@ -17,6 +17,8 @@
 #include "euler/state.hpp"
 #include "linalg/block.hpp"
 #include "nsu3d/level.hpp"
+#include "resil/checkpoint.hpp"
+#include "resil/guard.hpp"
 #include "support/types.hpp"
 
 namespace columbia::nsu3d {
@@ -66,6 +68,26 @@ class Nsu3dSolver {
   real_t run_cycle();
 
   std::vector<real_t> solve(int max_cycles, real_t orders = 5);
+
+  /// Guarded solve: per-cycle NaN/blow-up detection, rollback to the last
+  /// good checkpoint with CFL/relaxation backoff, optional durable
+  /// checkpoint + resume (see resil::guarded_solve). With faults off and
+  /// no recovery triggered, the history matches solve() bit for bit.
+  resil::GuardedSolveResult solve_guarded(
+      int max_cycles, real_t orders = 5,
+      const resil::GuardedSolveOptions& options = {});
+
+  /// Snapshot of the complete solver state: the fine-grid solution
+  /// (including the SA working variable) plus cycle/history. Coarse-level
+  /// state is rebuilt by the next cycle's FAS restriction, so restoring
+  /// this checkpoint reproduces the uninterrupted residual history
+  /// bit-identically.
+  resil::Checkpoint make_checkpoint(std::uint64_t cycle,
+                                    std::span<const real_t> history) const;
+
+  /// Restores a checkpoint from make_checkpoint; throws std::runtime_error
+  /// when the solver tag or state size does not match this configuration.
+  void restore_checkpoint(const resil::Checkpoint& c);
 
   real_t residual_norm();
 
@@ -118,6 +140,11 @@ class Nsu3dSolver {
   /// Exclusive per-level seconds for the current cycle; sized only while
   /// convergence telemetry is active (obs JSONL sink open), else empty.
   std::vector<double> level_seconds_;
+
+  /// Monotone cycle-attempt counter: the site id for mid-cycle fault
+  /// injection (resil::FaultKind::StateNaN), advanced every run_cycle so a
+  /// rolled-back retry draws a fresh injection decision.
+  std::uint64_t cycle_seq_ = 0;
 
   void smooth(int l, int steps);
   void apply_strong_bcs(int l, std::vector<State>& u) const;

@@ -1,0 +1,52 @@
+// Versioned, CRC32-checksummed binary snapshots of solver state.
+//
+// A checkpoint captures everything a multigrid solver needs to resume a
+// steady-state solve bit-identically: the fine-grid solution vector
+// (including the SA working variable for NSU3D), the cycle count, and the
+// residual history so far. Coarse-level state is rebuilt by the next cycle
+// (FAS restriction overwrites it before use), so the fine grid alone
+// determines every subsequent residual exactly — restarting from cycle k
+// reproduces the uninterrupted history bit for bit.
+//
+// Wire format (little-endian host layout, as mesh::io):
+//   magic "COLCKPT1" | u32 version | payload | u32 crc32(payload)
+//   payload = u32 solver_len | solver bytes | u64 cycle | u64 stride
+//           | u64 nhist | nhist f64 | u64 nstate | nstate f64
+// Readers reject bad magic, unknown versions, truncation, and checksum
+// mismatch with std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace columbia::resil {
+
+struct Checkpoint {
+  std::string solver;            // "nsu3d" | "cart3d" | ...
+  std::uint64_t cycle = 0;       // cycles completed when taken
+  std::uint64_t state_stride = 0;  // components per node/cell
+  std::vector<double> history;   // residual norms incl. the initial entry
+  std::vector<double> state;     // flattened fine-grid solution
+};
+
+/// Writes `c` to the stream; returns bytes written.
+std::size_t write_checkpoint(std::ostream& out, const Checkpoint& c);
+
+/// Reads a checkpoint written by write_checkpoint. Throws
+/// std::runtime_error on bad magic/version, truncation, or CRC mismatch.
+Checkpoint read_checkpoint(std::istream& in);
+
+/// Durable write: writes to `path` + ".tmp" and renames, so a crash
+/// mid-write never clobbers the previous good checkpoint. False on I/O
+/// failure.
+bool write_checkpoint_file(const std::string& path, const Checkpoint& c);
+
+/// Loads `path` if it exists and validates; std::nullopt when the file is
+/// absent or unreadable/corrupt (a corrupt checkpoint is a recoverable
+/// condition: the caller starts fresh instead of crashing).
+std::optional<Checkpoint> try_read_checkpoint_file(const std::string& path);
+
+}  // namespace columbia::resil

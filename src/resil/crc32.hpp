@@ -1,0 +1,42 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//
+// The resilience layer checksums everything that crosses a failure
+// boundary: checkpoint files on disk and halo-exchange payloads in flight.
+// One shared table-driven implementation keeps the two formats honest with
+// each other (a checkpoint written here validates against the same
+// polynomial the halo frames use).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace columbia::resil {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[std::size_t(i)] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Checksum of `n` bytes. Pass a previous result as `crc` to extend a
+/// running checksum over multiple buffers (streaming use).
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t crc = 0) {
+  const auto& table = crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace columbia::resil

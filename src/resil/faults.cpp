@@ -1,0 +1,214 @@
+#include "resil/faults.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "resil/crc32.hpp"
+#include "support/random.hpp"
+
+namespace columbia::resil {
+
+namespace {
+
+/// Distinct salt per fault kind so the same site draws independently for
+/// each kind.
+constexpr std::array<std::uint64_t, kNumFaultKinds> kKindSalt = {
+    0x9e3779b97f4a7c15ull, 0xc2b2ae3d27d4eb4full, 0x165667b19e3779f9ull,
+    0x27d4eb2f165667c5ull};
+
+double parse_number(const std::string& tok) {
+  std::size_t pos = 0;
+  const double v = std::stod(tok, &pos);
+  if (pos != tok.size()) throw std::invalid_argument("trailing characters");
+  return v;
+}
+
+void bump_obs(FaultKind k) {
+  switch (k) {
+    case FaultKind::HaloCorrupt: OBS_COUNT("resil.fault.halo_corrupt", 1); break;
+    case FaultKind::HaloDrop: OBS_COUNT("resil.fault.halo_drop", 1); break;
+    case FaultKind::StateNaN: OBS_COUNT("resil.fault.state_nan", 1); break;
+    case FaultKind::CaseThrow: OBS_COUNT("resil.fault.case_throw", 1); break;
+  }
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::HaloCorrupt: return "halo_corrupt";
+    case FaultKind::HaloDrop: return "halo_drop";
+    case FaultKind::StateNaN: return "state_nan";
+    case FaultKind::CaseThrow: return "case_throw";
+  }
+  return "?";
+}
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string tok = spec.substr(start, end - start);
+    start = end + 1;
+    if (tok.empty()) {
+      if (end == spec.size()) break;
+      continue;
+    }
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("COLUMBIA_FAULTS: token '" + tok +
+                                  "' is not key=value");
+    const std::string key = tok.substr(0, eq);
+    std::string val = tok.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        out.seed = std::stoull(val);
+        continue;
+      }
+      int kind = -1;
+      for (int k = 0; k < kNumFaultKinds; ++k)
+        if (key == fault_kind_name(FaultKind(k))) kind = k;
+      if (kind < 0)
+        throw std::invalid_argument("unknown fault kind '" + key + "'");
+      std::uint64_t cap = std::numeric_limits<std::uint64_t>::max();
+      const std::size_t at = val.find('@');
+      if (at != std::string::npos) {
+        cap = std::stoull(val.substr(at + 1));
+        val = val.substr(0, at);
+      }
+      const double rate = parse_number(val);
+      if (!(rate >= 0.0 && rate <= 1.0))
+        throw std::invalid_argument("rate outside [0, 1]");
+      out.rate[std::size_t(kind)] = rate;
+      out.max_count[std::size_t(kind)] = cap;
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("COLUMBIA_FAULTS: bad value in '" + tok +
+                                  "'");
+    }
+  }
+  return out;
+}
+
+InjectedFault::InjectedFault(FaultKind kind, std::uint64_t site)
+    : std::runtime_error(std::string("injected fault: ") +
+                         fault_kind_name(kind) + " at site " +
+                         std::to_string(site)),
+      kind_(kind),
+      site_(site) {}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector* inj = [] {
+    auto* p = new FaultInjector;
+    if (const char* s = std::getenv("COLUMBIA_FAULTS"); s != nullptr && *s)
+      p->configure(parse_fault_spec(s));
+    return p;
+  }();
+  return *inj;
+}
+
+void FaultInjector::configure(const FaultSpec& spec) {
+  spec_ = spec;
+  for (auto& f : fired_) f.store(0, std::memory_order_relaxed);
+  armed_.store(spec.any(), std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  spec_ = FaultSpec{};
+  for (auto& f : fired_) f.store(0, std::memory_order_relaxed);
+  exchange_seq_.store(0, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_inject(FaultKind k, std::uint64_t site) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  const std::size_t ki = std::size_t(k);
+  const double rate = spec_.rate[ki];
+  if (rate <= 0) return false;
+  // Pure (seed, kind, site) decision: interleavings cannot change the set.
+  SplitMix64 gen(spec_.seed ^ kKindSalt[ki] ^
+                 (site * 0x2545f4914f6cdd1dull + 0x9e3779b97f4a7c15ull));
+  const double u = double(gen.next() >> 11) * 0x1.0p-53;
+  if (u >= rate) return false;
+  // Budget cap: claim a slot; a full budget suppresses the injection.
+  auto& fired = fired_[ki];
+  std::uint64_t cur = fired.load(std::memory_order_relaxed);
+  while (cur < spec_.max_count[ki]) {
+    if (fired.compare_exchange_weak(cur, cur + 1,
+                                    std::memory_order_relaxed)) {
+      bump_obs(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::maybe_throw(FaultKind k, std::uint64_t site) {
+  if (should_inject(k, site)) throw InjectedFault(k, site);
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t t = 0;
+  for (const auto& f : fired_) t += f.load(std::memory_order_relaxed);
+  return t;
+}
+
+std::uint64_t halo_site(std::uint64_t exchange_seq, std::uint64_t sender,
+                        std::uint64_t receiver, std::uint64_t attempt) {
+  SplitMix64 gen(exchange_seq * 0x100000001b3ull + sender * 0x10001ull +
+                 receiver * 0x101ull + attempt);
+  return gen.next();
+}
+
+std::uint64_t site_hash(std::uint64_t seed, std::uint64_t site) {
+  SplitMix64 gen(seed * 0xff51afd7ed558ccdull ^ site);
+  return gen.next();
+}
+
+std::vector<real_t> frame_payload(std::span<const real_t> payload) {
+  std::vector<real_t> frame;
+  frame.reserve(payload.size() + 2);
+  frame.push_back(real_t(payload.size()));
+  frame.push_back(real_t(
+      crc32(payload.data(), payload.size() * sizeof(real_t))));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+bool unframe_payload(std::span<const real_t> frame,
+                     std::vector<real_t>& payload) {
+  if (frame.size() < 2) return false;
+  const real_t declared = frame[0];
+  if (!(declared >= 0) || declared != std::floor(declared)) return false;
+  const std::size_t n = std::size_t(declared);
+  if (frame.size() != n + 2) return false;
+  const auto stored = std::uint32_t(frame[1]);
+  const std::uint32_t computed =
+      crc32(frame.data() + 2, n * sizeof(real_t));
+  if (stored != computed) return false;
+  payload.assign(frame.begin() + 2, frame.end());
+  return true;
+}
+
+void corrupt_frame(std::vector<real_t>& frame, std::uint64_t site) {
+  if (frame.size() <= 2) return;
+  const std::size_t n = frame.size() - 2;
+  const std::size_t k = 2 + std::size_t(site_hash(0x5eedull, site) % n);
+  // Flip a mantissa bit so the checksum no longer matches (and the value
+  // would be silently wrong without it).
+  std::uint64_t bits;
+  std::memcpy(&bits, &frame[k], sizeof(bits));
+  bits ^= 1ull << 21;
+  std::memcpy(&frame[k], &bits, sizeof(bits));
+}
+
+void drop_frame(std::vector<real_t>& frame) {
+  if (frame.size() > 2) frame.resize(2);
+}
+
+}  // namespace columbia::resil

@@ -1,0 +1,94 @@
+#include "resil/guard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.hpp"
+#include "support/assert.hpp"
+
+namespace columbia::resil {
+
+const char* outcome_name(SolveOutcome o) {
+  switch (o) {
+    case SolveOutcome::Ok: return "ok";
+    case SolveOutcome::Recovered: return "recovered";
+    case SolveOutcome::Degraded: return "degraded";
+    case SolveOutcome::Failed: return "failed";
+  }
+  return "?";
+}
+
+GuardedSolveResult guarded_solve(const GuardedSolveOptions& opt,
+                                 int max_cycles, real_t orders,
+                                 const GuardCallbacks& cb) {
+  COLUMBIA_REQUIRE(cb.residual_norm && cb.run_cycle && cb.snapshot &&
+                   cb.restore);
+  OBS_SPAN("resil.guarded_solve");
+  GuardedSolveResult out;
+  std::uint64_t cycle = 0;
+
+  if (opt.resume && !opt.checkpoint_path.empty()) {
+    if (auto c = try_read_checkpoint_file(opt.checkpoint_path);
+        c && c->solver == cb.solver) {
+      cb.restore(*c);
+      out.history.assign(c->history.begin(), c->history.end());
+      cycle = c->cycle;
+      out.resumed = true;
+      out.resumed_from = cycle;
+      OBS_COUNT("resil.checkpoint.restore", 1);
+    }
+  }
+  if (out.history.empty()) out.history.push_back(cb.residual_norm());
+
+  const real_t target = out.history.front() * std::pow(10.0, -orders);
+  real_t best = out.history.front();
+  for (real_t r : out.history)
+    if (std::isfinite(r)) best = std::min(best, r);
+  if (!out.history.empty() && out.history.back() <= target) return out;
+
+  Checkpoint good = cb.snapshot(cycle, out.history);
+  int retries_left = opt.guard.max_retries;
+
+  while (cycle < std::uint64_t(std::max(0, max_cycles))) {
+    const real_t r = cb.run_cycle();
+    const bool diverged =
+        !std::isfinite(r) ||
+        (best > 0 && r > opt.guard.blowup_factor * best);
+    if (diverged) {
+      if (retries_left <= 0) {
+        out.outcome = SolveOutcome::Failed;
+        OBS_COUNT("resil.solve.failed", 1);
+        return out;
+      }
+      --retries_left;
+      OBS_SPAN("resil.recover");
+      OBS_COUNT("resil.recover.rollback", 1);
+      OBS_COUNT("resil.recover.backoff", 1);
+      cb.restore(good);
+      out.history.assign(good.history.begin(), good.history.end());
+      cycle = good.cycle;
+      if (cb.backoff) cb.backoff();
+      ++out.rollbacks;
+      ++out.backoffs;
+      continue;
+    }
+    ++cycle;
+    out.history.push_back(r);
+    best = std::min(best, r);
+    const bool due = opt.checkpoint_interval > 0 &&
+                     cycle % std::uint64_t(opt.checkpoint_interval) == 0;
+    if (due || r <= target) {
+      good = cb.snapshot(cycle, out.history);
+      OBS_COUNT("resil.checkpoint.write", 1);
+      if (!opt.checkpoint_path.empty())
+        write_checkpoint_file(opt.checkpoint_path, good);
+    }
+    if (r <= target) break;
+  }
+
+  out.outcome =
+      out.rollbacks > 0 ? SolveOutcome::Recovered : SolveOutcome::Ok;
+  return out;
+}
+
+}  // namespace columbia::resil

@@ -1,0 +1,82 @@
+// Guarded solves: per-cycle divergence detection with rollback to the
+// last good checkpoint, CFL/relaxation backoff, and bounded retries.
+//
+// Both multigrid drivers (NSU3D and Cart3D) share this loop through a
+// small callback bundle: the guard watches each cycle's residual for
+// NaN/Inf or blow-up past `blowup_factor` x the best residual seen, and on
+// a bad cycle restores the last good snapshot, asks the solver to back off
+// (reduce CFL / under-relaxation), and retries. With an on-disk checkpoint
+// path, periodic snapshots make the solve restartable across process
+// deaths: resuming from cycle k reproduces the uninterrupted residual
+// history bit for bit (the snapshot holds the exact fine-grid state).
+//
+// Recovery events surface in the obs layer: counters
+// resil.recover.rollback / resil.recover.backoff /
+// resil.checkpoint.write / resil.checkpoint.restore and a
+// "resil.recover" span around each rollback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "resil/checkpoint.hpp"
+#include "support/types.hpp"
+
+namespace columbia::resil {
+
+enum class SolveOutcome { Ok, Recovered, Degraded, Failed };
+const char* outcome_name(SolveOutcome o);
+
+struct GuardOptions {
+  int max_retries = 3;         // rollback budget for the whole solve
+  real_t blowup_factor = 1e6;  // residual > factor * best-so-far => diverging
+  real_t cfl_backoff = 0.5;    // applied by the solver's backoff callback
+  real_t relax_backoff = 0.7;
+};
+
+struct GuardedSolveOptions {
+  GuardOptions guard;
+  /// Durable checkpoint file; empty keeps snapshots in memory only (still
+  /// enough for rollback within the process).
+  std::string checkpoint_path;
+  int checkpoint_interval = 5;  // cycles between snapshots
+  /// Load checkpoint_path before starting when it exists and matches.
+  bool resume = true;
+};
+
+struct GuardedSolveResult {
+  std::vector<real_t> history;  // includes the initial residual entry
+  SolveOutcome outcome = SolveOutcome::Ok;
+  int rollbacks = 0;   // bad cycles recovered by checkpoint restore
+  int backoffs = 0;    // CFL/relaxation reductions applied
+  bool resumed = false;
+  std::uint64_t resumed_from = 0;  // cycle index of the loaded checkpoint
+};
+
+/// What the guard needs from a solver. `snapshot`/`restore` must round-trip
+/// the full solver state exactly (bit-identical residuals afterwards);
+/// `backoff` makes the next retry more dissipative and may be called up to
+/// `max_retries` times.
+struct GuardCallbacks {
+  std::string solver;  // checkpoint tag, e.g. "nsu3d"
+  std::function<real_t()> residual_norm;
+  std::function<real_t()> run_cycle;
+  std::function<Checkpoint(std::uint64_t cycle, std::span<const real_t>)>
+      snapshot;
+  std::function<void(const Checkpoint&)> restore;
+  std::function<void()> backoff;
+};
+
+/// Runs guarded cycles until `max_cycles` total cycles are on the books
+/// (cycles already banked by a resumed checkpoint count) or the residual
+/// drops by `orders` orders of magnitude from the history's first entry.
+/// Never throws on divergence: a solve that exhausts its retry budget
+/// returns outcome Failed with the history so far.
+GuardedSolveResult guarded_solve(const GuardedSolveOptions& opt,
+                                 int max_cycles, real_t orders,
+                                 const GuardCallbacks& cb);
+
+}  // namespace columbia::resil

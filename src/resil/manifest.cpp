@@ -1,0 +1,59 @@
+#include "resil/manifest.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace columbia::resil {
+
+SweepManifest::SweepManifest(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ManifestEntry e;
+    if (!(ls >> tag) || tag != "case") continue;  // header/garbage line
+    if (!(ls >> e.case_id >> e.status)) continue;
+    bool ok = true;
+    for (double& v : e.values)
+      if (!(ls >> v)) {
+        ok = false;  // truncated trailing line: skip, the case re-runs
+        break;
+      }
+    if (ok) entries_[e.case_id] = e;
+  }
+}
+
+bool SweepManifest::contains(std::uint64_t case_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(case_id) != 0;
+}
+
+const ManifestEntry* SweepManifest::find(std::uint64_t case_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(case_id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void SweepManifest::record(const ManifestEntry& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[e.case_id] = e;
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return;
+  char buf[512];
+  int n = std::snprintf(buf, sizeof(buf), "case %llu %s",
+                        static_cast<unsigned long long>(e.case_id),
+                        e.status.c_str());
+  for (double v : e.values)
+    n += std::snprintf(buf + n, sizeof(buf) - std::size_t(n), " %.17g", v);
+  out << buf << '\n' << std::flush;
+}
+
+std::size_t SweepManifest::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace columbia::resil

@@ -1,0 +1,52 @@
+// Append-only sweep manifest: durable per-case completion records so a
+// killed database sweep resumes from completed cases instead of
+// re-running them (paper Sec. IV runs "as many cases as memory permits"
+// for days — losing the sweep to one dead case is not acceptable).
+//
+// Format: a text file, one line per completed case,
+//   case <id> <status> <v0> <v1> ... <v5>
+// with values printed at full precision (%.17g) so reloaded results are
+// bit-identical. Lines are flushed as they are appended; a truncated
+// trailing line (process killed mid-write) is skipped on reload.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace columbia::resil {
+
+struct ManifestEntry {
+  std::uint64_t case_id = 0;
+  std::string status;  // "ok" | "recovered" | "degraded" | "failed"
+  /// Caller-defined payload (the database driver stores cl, cd,
+  /// residual_drop, cycles, attempts, deflection).
+  std::array<double, 6> values{};
+};
+
+class SweepManifest {
+ public:
+  /// Loads any existing entries from `path`; record() appends to the same
+  /// file. The file is created on the first record().
+  explicit SweepManifest(std::string path);
+
+  bool contains(std::uint64_t case_id) const;
+  /// nullptr when the case is not in the manifest. The pointer stays valid
+  /// until the next record() call.
+  const ManifestEntry* find(std::uint64_t case_id) const;
+
+  /// Appends one completed case (thread-safe; one flushed line per call).
+  void record(const ManifestEntry& e);
+
+  std::size_t size() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, ManifestEntry> entries_;
+};
+
+}  // namespace columbia::resil

@@ -3,11 +3,60 @@
 #include <map>
 
 #include "obs/obs.hpp"
+#include "resil/faults.hpp"
 #include "support/assert.hpp"
 
 namespace columbia::smp {
 
 namespace {
+
+/// A sender never injects into more than this many attempts of one
+/// message, so the final attempt is always clean and every exchange
+/// terminates with the original payload delivered intact.
+constexpr int kMaxHaloAttempts = 4;
+
+/// Sends `payload` wrapped in a checksummed frame (resil::frame_payload).
+/// The fault injector may corrupt or drop the frame in transit; the
+/// sender then retransmits (the receiver rejects the bad frame), bounded
+/// by kMaxHaloAttempts. Fault decisions are a pure function of
+/// (seed, exchange seq, sender, receiver, attempt) — deterministic at any
+/// thread interleaving.
+void send_halo(Comm& comm, int to, int tag,
+               const std::vector<real_t>& payload, std::uint64_t seq) {
+  resil::FaultInjector& inj = resil::FaultInjector::global();
+  for (int attempt = 0;; ++attempt) {
+    std::vector<real_t> frame = resil::frame_payload(payload);
+    bool faulted = false;
+    if (inj.armed() && attempt + 1 < kMaxHaloAttempts) {
+      const std::uint64_t site =
+          resil::halo_site(seq, std::uint64_t(comm.rank()),
+                           std::uint64_t(to), std::uint64_t(attempt));
+      if (inj.should_inject(resil::FaultKind::HaloDrop, site)) {
+        resil::drop_frame(frame);
+        faulted = true;
+      } else if (inj.should_inject(resil::FaultKind::HaloCorrupt, site)) {
+        resil::corrupt_frame(frame, site);
+        faulted = true;
+      }
+    }
+    comm.send(to, tag, frame);
+    if (!faulted) return;
+    OBS_COUNT("resil.halo.retransmits", 1);
+  }
+}
+
+/// Receives frames from `from` until one validates; returns its payload.
+/// Bounded by the sender's attempt cap.
+std::vector<real_t> recv_halo(Comm& comm, int from, int tag) {
+  std::vector<real_t> payload;
+  for (int attempt = 0; attempt < kMaxHaloAttempts; ++attempt) {
+    const std::vector<real_t> frame = comm.recv(from, tag);
+    if (resil::unframe_payload(frame, payload)) return payload;
+    OBS_COUNT("resil.halo.rejected", 1);
+  }
+  COLUMBIA_REQUIRE(!"halo frame never validated within attempt cap");
+  return payload;
+}
 
 /// Attributes the runtime-wide traffic delta of one exchange to the named
 /// per-strategy counters (halo.<strategy>.messages / .bytes).
@@ -64,6 +113,8 @@ PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
       if (r.from_partition != q)
         sends[std::size_t(r.from_partition)][q].push_back(r.item);
 
+  const std::uint64_t seq =
+      resil::FaultInjector::global().next_exchange_seq();
   PartitionData out(std::size_t(nparts), std::vector<real_t>{});
   rt.run([&](Comm& comm) {
     const index_t me = index_t(comm.rank());
@@ -73,7 +124,7 @@ PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
       buf.reserve(items.size());
       for (index_t item : items)
         buf.push_back(data[std::size_t(me)][std::size_t(item)]);
-      comm.send(int(q), 10, buf);
+      send_halo(comm, int(q), 10, buf, seq);
     }
     // Receive in the deterministic order of our request list's senders.
     std::map<index_t, std::vector<real_t>> received;
@@ -81,7 +132,7 @@ PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
     for (const HaloRequest& r : reqs)
       if (r.from_partition != me &&
           !received.count(r.from_partition))
-        received[r.from_partition] = comm.recv(int(r.from_partition), 10);
+        received[r.from_partition] = recv_halo(comm, int(r.from_partition), 10);
     std::map<index_t, std::size_t> cursor;
     for (std::size_t k = 0; k < reqs.size(); ++k) {
       const HaloRequest& r = reqs[k];
@@ -121,6 +172,8 @@ PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
     }
   }
 
+  const std::uint64_t seq =
+      resil::FaultInjector::global().next_exchange_seq();
   PartitionData out(std::size_t(nparts), std::vector<real_t>{});
   rt.run([&](Comm& comm) {
     const index_t me = index_t(comm.rank());
@@ -139,7 +192,7 @@ PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
       for (const HaloRequest& r : items)
         buf.push_back(
             data[std::size_t(r.from_partition)][std::size_t(r.item)]);
-      comm.send(int(qp), 11, buf);
+      send_halo(comm, int(qp), 11, buf, seq);
     }
     // Receive one message per remote process and scatter to the local
     // partitions' request slots (thread-parallel unpack in the paper).
@@ -150,7 +203,7 @@ PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
       for (std::size_t k = 0; k < reqs.size(); ++k) {
         const index_t op = proc_of(reqs[k].from_partition);
         if (op == me) continue;
-        if (!received.count(op)) received[op] = comm.recv(int(op), 11);
+        if (!received.count(op)) received[op] = recv_halo(comm, int(op), 11);
         out[std::size_t(p)][k] = received[op][cursor[op]++];
       }
     }

@@ -14,6 +14,12 @@
 //       strategy NSU3D uses exclusively.
 //
 // Intra-process requests are served by direct copy (shared memory).
+//
+// Resilience: every inter-process message travels in a checksummed frame
+// ([count, crc32, payload...]); a receiver rejects truncated or corrupted
+// frames and the sender retransmits, so delivered halo values are always
+// exactly the originals — exchanges are bit-identical with fault injection
+// (COLUMBIA_FAULTS halo_corrupt / halo_drop) on or off.
 #pragma once
 
 #include <vector>

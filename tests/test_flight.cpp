@@ -83,6 +83,32 @@ TEST(FlyLongitudinal, TrajectoryAdvances) {
   }
 }
 
+TEST(TrimAlphaChecked, FlagsUnreachableTargetCl) {
+  // linear_db: CL = 0.1*alpha + 0.5*deflection with alpha in [-4, 8], so
+  // at deflection 0 the achievable envelope is [-0.4, 0.8]. A target of
+  // 2.0 saturates — the result must say so instead of silently flying the
+  // clamped angle as if it delivered CL = 2.
+  const auto [spec, results] = linear_db();
+  const AeroDatabase db(spec, results);
+  const TrimResult out = trim_alpha_checked(db, 0.0, 0.8, 2.0);
+  EXPECT_FALSE(out.in_range);
+  EXPECT_NEAR(out.cl_lo, -0.4, 1e-9);
+  EXPECT_NEAR(out.cl_hi, 0.8, 1e-9);
+  EXPECT_NEAR(out.alpha_deg, 8.0, 1e-6);       // saturated endpoint
+  EXPECT_NEAR(out.achieved_cl, 0.8, 1e-6);     // what it actually delivers
+  // The convenience wrapper returns the same (saturated) angle.
+  EXPECT_DOUBLE_EQ(trim_alpha(db, 0.0, 0.8, 2.0), out.alpha_deg);
+}
+
+TEST(TrimAlphaChecked, InRangeTargetIsAchieved) {
+  const auto [spec, results] = linear_db();
+  const AeroDatabase db(spec, results);
+  const TrimResult out = trim_alpha_checked(db, 0.0, 0.8, 0.3);
+  EXPECT_TRUE(out.in_range);
+  EXPECT_NEAR(out.alpha_deg, 3.0, 1e-6);  // CL = 0.1 * alpha
+  EXPECT_NEAR(out.achieved_cl, 0.3, 1e-6);
+}
+
 TEST(FlyLongitudinal, LiftTrimHoldsGamma) {
   // With CL trimmed so lift ~ weight, the flight-path angle stays small.
   const auto [spec, results] = linear_db();

@@ -158,6 +158,57 @@ TEST(ScalarTridiag, SolvesKnownSystem) {
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(rhs[i], x[i], 1e-9);
 }
 
+TEST(FactorStatus, ReportsFailingPivotColumn) {
+  // A matrix whose third column becomes unpivotable: rows 2 and 3 of the
+  // identity zeroed leaves no nonzero pivot candidate in column 2.
+  BlockMat<4> m = BlockMat<4>::identity();
+  m(2, 2) = 0;
+  m(3, 3) = 0;
+  BlockLU<4> lu;
+  const FactorStatus st = lu.factor_status(m);
+  EXPECT_FALSE(st.ok);
+  EXPECT_FALSE(bool(st));
+  EXPECT_EQ(st.pivot_col, 2);
+  EXPECT_EQ(st.pivot_mag, 0.0);
+  // The boolean wrapper agrees.
+  EXPECT_FALSE(lu.factor(m));
+}
+
+TEST(FactorStatus, OkOnWellConditionedBlock) {
+  BlockLU<3> lu;
+  const FactorStatus st = lu.factor_status(BlockMat<3>::diagonal(2.0));
+  EXPECT_TRUE(st.ok);
+  EXPECT_EQ(st.pivot_col, -1);
+}
+
+TEST(TridiagStatus, ReportsSingularRowAndColumn) {
+  // Decoupled 1x1-ish blocks: a zero diagonal block at row 2 must be
+  // named in the status, not folded into a bare false.
+  const std::size_t n = 4;
+  std::vector<BlockMat<2>> lower(n), diag(n), upper(n);
+  std::vector<BlockVec<2>> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = BlockMat<2>::diagonal(3.0);
+  diag[2] = BlockMat<2>{};  // singular pivot block
+  const TridiagStatus st =
+      solve_block_tridiag_status<2>(lower, diag, upper, rhs);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.row, 2u);
+  EXPECT_EQ(st.factor.pivot_col, 0);
+}
+
+TEST(TridiagStatus, OkRoundTripsThroughBooleanWrapper) {
+  const std::size_t n = 3;
+  std::vector<BlockMat<2>> lower(n), diag(n), upper(n);
+  std::vector<BlockVec<2>> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag[i] = BlockMat<2>::diagonal(2.0);
+    rhs[i][0] = real_t(i);
+    rhs[i][1] = 1.0;
+  }
+  EXPECT_TRUE(solve_block_tridiag<2>(lower, diag, upper, rhs));
+  EXPECT_DOUBLE_EQ(rhs[1][0], 0.5);
+}
+
 TEST(BlockVec, NormAndOps) {
   BlockVec<3> v;
   v[0] = 3;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full suite in the release preset, then the
+# thread-sensitive suites (labels tsan + resil) under ThreadSanitizer.
+#
+#   scripts/check.sh            # release + tsan
+#   JOBS=8 scripts/check.sh     # override parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== release: configure + build + full ctest =="
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+ctest --preset release -j "$JOBS"
+
+echo
+echo "== tsan: configure + build + ctest -L tsan (includes resil) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+ctest --preset tsan -j "$JOBS"
+
+echo
+echo "== all checks passed =="

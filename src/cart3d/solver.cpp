@@ -365,6 +365,10 @@ void Cart3DSolver::restrict_to(int level) {
                               transferred[j][std::size_t(c)];
 }
 
+// The driver's post-smoothing step after this correction is load-bearing:
+// it damps the high-frequency error injected by the piecewise-constant
+// prolongation, which the limited second-order fine operator would
+// otherwise amplify.
 void Cart3DSolver::prolong_correction(int level) {
   const auto& map = hierarchy_.maps[std::size_t(level)];
   const std::vector<Cons>& uc = state_[std::size_t(level) + 1];
@@ -378,32 +382,6 @@ void Cart3DSolver::prolong_correction(int level) {
                               (uc[j][std::size_t(c)] - snap[j][std::size_t(c)]);
     if (euler::is_valid(unew)) uf[i] = unew;
   });
-}
-
-void Cart3DSolver::mg_cycle(int level) {
-  OBS_SPAN("cart3d.level", "level", level);
-  OBS_COUNT("cart3d.level_visits", 1);
-  // Exclusive per-level timing: the stretch before the coarse-grid visit
-  // and the stretch after it, but never the recursion itself.
-  const bool timed = !level_seconds_.empty();
-  WallTimer t;
-  const int nl = num_levels();
-  smooth(level, opt_.smooth_steps);
-  if (level + 1 >= nl) {
-    if (timed) level_seconds_[std::size_t(level)] += t.seconds();
-    return;
-  }
-  restrict_to(level);
-  if (timed) level_seconds_[std::size_t(level)] += t.seconds();
-  const int visits = (opt_.cycle == CycleType::W && level + 2 < nl) ? 2 : 1;
-  for (int v = 0; v < visits; ++v) mg_cycle(level + 1);
-  t.reset();
-  prolong_correction(level);
-  // One post-smoothing step damps the high-frequency error injected by the
-  // piecewise-constant prolongation; without it the limited second-order
-  // fine operator amplifies the injected jumps.
-  if (opt_.post_smooth_steps > 0) smooth(level, opt_.post_smooth_steps);
-  if (timed) level_seconds_[std::size_t(level)] += t.seconds();
 }
 
 real_t Cart3DSolver::residual_norm() {
@@ -426,24 +404,12 @@ real_t Cart3DSolver::residual_norm() {
   return std::sqrt(sum / real_t(std::max<std::size_t>(1, residual_[0].size())));
 }
 
-real_t Cart3DSolver::run_cycle() {
-  OBS_SPAN("cart3d.cycle");
-  mg_cycle(0);
-  // Fault-injection hook (COLUMBIA_FAULTS state_nan): poison one energy
-  // entry after the cycle's updates so the guard sees a non-finite
-  // residual. The site is a per-attempt counter, so a rolled-back retry
-  // of the same cycle draws a fresh decision instead of re-faulting.
-  resil::FaultInjector& inj = resil::FaultInjector::global();
-  if (inj.armed()) {
-    const std::uint64_t site = cycle_seq_++;
-    if (inj.should_inject(resil::FaultKind::StateNaN, site)) {
-      auto& u = state_[0];
-      const std::size_t i =
-          std::size_t(resil::site_hash(inj.spec().seed, site) % u.size());
-      u[i][4] = std::numeric_limits<real_t>::quiet_NaN();
-    }
-  }
-  return residual_norm();
+real_t Cart3DSolver::run_cycle() { return driver_.run_cycle(*this); }
+
+/// Fault hook (COLUMBIA_FAULTS state_nan): poison one energy entry after
+/// the cycle's updates so the guard sees a non-finite residual.
+void Cart3DSolver::poison_state(std::size_t i) {
+  state_[0][i][4] = std::numeric_limits<real_t>::quiet_NaN();
 }
 
 resil::Checkpoint Cart3DSolver::make_checkpoint(
@@ -472,50 +438,22 @@ void Cart3DSolver::restore_checkpoint(const resil::Checkpoint& c) {
 
 resil::GuardedSolveResult Cart3DSolver::solve_guarded(
     int max_cycles, real_t orders, const resil::GuardedSolveOptions& options) {
-  OBS_SPAN("cart3d.solve_guarded");
-  resil::GuardCallbacks cb;
-  cb.solver = "cart3d";
-  cb.residual_norm = [this] { return residual_norm(); };
-  cb.run_cycle = [this] { return run_cycle(); };
-  cb.snapshot = [this](std::uint64_t cycle, std::span<const real_t> history) {
-    return make_checkpoint(cycle, history);
-  };
-  cb.restore = [this](const resil::Checkpoint& c) { restore_checkpoint(c); };
-  // The RK smoother has no relaxation knob; backoff acts on CFL alone.
-  cb.backoff = [this, &options] { opt_.cfl *= options.guard.cfl_backoff; };
-  return resil::guarded_solve(options, max_cycles, orders, cb);
+  return driver_.solve_guarded(*this, max_cycles, orders, options);
+}
+
+/// The RK smoother has no relaxation knob; backoff acts on CFL alone.
+void Cart3DSolver::apply_backoff(const resil::GuardOptions& g) {
+  opt_.cfl *= g.cfl_backoff;
+}
+
+void Cart3DSolver::telemetry_forces(double& cl, double& cd) const {
+  const Forces f = integrate_forces();
+  cl = double(f.cl);
+  cd = double(f.cd);
 }
 
 std::vector<real_t> Cart3DSolver::solve(int max_cycles, real_t orders) {
-  OBS_SPAN("cart3d.solve");
-  std::vector<real_t> history;
-  history.push_back(residual_norm());
-  const real_t target = history[0] * std::pow(10.0, -orders);
-  for (int c = 0; c < max_cycles; ++c) {
-    // Telemetry is read-only on the solve: timings and force integrals
-    // never feed back into the state, so histories stay bit-identical
-    // with the JSONL sink open or closed.
-    const bool telem = obs::telemetry_active();
-    if (telem) level_seconds_.assign(hierarchy_.levels.size(), 0.0);
-    const real_t r = run_cycle();
-    history.push_back(r);
-    if (telem) {
-      obs::CycleRecord rec;
-      rec.solver = "cart3d";
-      rec.cycle = c + 1;
-      rec.residual = double(r);
-      const Forces f = integrate_forces();
-      rec.has_forces = true;
-      rec.cl = double(f.cl);
-      rec.cd = double(f.cd);
-      for (std::size_t l = 0; l < level_seconds_.size(); ++l)
-        rec.levels.push_back({int(l), level_seconds_[l]});
-      obs::emit_cycle(rec);
-    }
-    level_seconds_.clear();
-    if (r <= target) break;
-  }
-  return history;
+  return driver_.solve(*this, max_cycles, orders);
 }
 
 Forces Cart3DSolver::integrate_forces() const {
@@ -540,22 +478,8 @@ Forces Cart3DSolver::integrate_forces() const {
 }
 
 std::vector<LevelWork> Cart3DSolver::level_work() const {
-  // Replay the cycle recursion to count level visits exactly; for W-cycles
-  // this reproduces the paper's geometric growth toward the coarse levels
-  // (Sec. VI quotes 2^(n-1) = 32 coarsest-level visits for six levels).
-  std::vector<index_t> visits(hierarchy_.levels.size(), 0);
-  struct Counter {
-    std::vector<index_t>& v;
-    int nl;
-    CycleType cyc;
-    void descend(int level) {
-      v[std::size_t(level)] += 1;
-      if (level + 1 >= nl) return;
-      const int reps = (cyc == CycleType::W && level + 2 < nl) ? 2 : 1;
-      for (int r = 0; r < reps; ++r) descend(level + 1);
-    }
-  } counter{visits, int(hierarchy_.levels.size()), opt_.cycle};
-  counter.descend(0);
+  const std::vector<index_t> visits =
+      core::cycle_visits(int(hierarchy_.levels.size()), opt_.cycle);
 
   std::vector<LevelWork> w;
   for (std::size_t l = 0; l < hierarchy_.levels.size(); ++l) {

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "cartesian/coarsen.hpp"
+#include "core/multigrid.hpp"
+#include "core/params.hpp"
 #include "euler/flux.hpp"
 #include "euler/state.hpp"
 #include "resil/checkpoint.hpp"
@@ -22,17 +24,18 @@
 
 namespace columbia::cart3d {
 
-enum class CycleType { V, W };
+using CycleType = core::CycleType;  // shared cycle vocabulary (core/)
 
-struct SolverOptions {
+/// Cycle-control fields (mg_levels, cycle, cfl, smoothing steps,
+/// correction damping, second_order) live in core::SolveParams; only the
+/// Cartesian-specific knobs are added here.
+struct SolverOptions : core::SolveParams {
+  SolverOptions() {
+    mg_levels = 1;  // 1 = single grid
+    cfl = 1.2;
+    smooth_steps = 2;  // RK smoothing steps per level visit
+  }
   euler::FluxScheme flux = euler::FluxScheme::Roe;
-  real_t cfl = 1.2;
-  int mg_levels = 1;  // 1 = single grid
-  CycleType cycle = CycleType::W;
-  int smooth_steps = 2;       // RK smoothing steps per level visit
-  int post_smooth_steps = 1;  // smoothing after coarse-grid correction
-  real_t correction_damping = 0.8;  // scales the prolonged correction
-  bool second_order = true;   // limited linear reconstruction on level 0
   cartesian::SfcKind sfc = cartesian::SfcKind::PeanoHilbert;
 };
 
@@ -106,6 +109,8 @@ class Cart3DSolver {
                         std::vector<euler::Cons>& res, bool second_order);
 
  private:
+  friend class core::MultigridDriver<Cart3DSolver>;
+
   SolverOptions opt_;
   euler::FlowConditions cond_;
   euler::Prim freestream_;
@@ -132,19 +137,21 @@ class Cart3DSolver {
   };
   std::vector<Workspace> work_;
 
-  /// Exclusive per-level seconds for the current cycle; sized only while
-  /// convergence telemetry is active (obs JSONL sink open), else empty.
-  std::vector<double> level_seconds_;
-
-  /// Monotone cycle-attempt counter: the site id for mid-cycle fault
-  /// injection (resil::FaultKind::StateNaN), advanced every run_cycle so a
-  /// rolled-back retry draws a fresh injection decision.
-  std::uint64_t cycle_seq_ = 0;
+  /// Cycle orchestration (level walk, convergence loop, guard wiring,
+  /// telemetry, fault hooks) lives in the shared driver; this class keeps
+  /// only the physics it feeds the driver.
+  core::MultigridDriver<Cart3DSolver> driver_{"cart3d"};
 
   void smooth(int level, int steps);
-  void mg_cycle(int level);
   void restrict_to(int level);        // level -> level+1 (state + forcing)
   void prolong_correction(int level); // level+1 -> level
+
+  // --- Adapter surface consumed by core::MultigridDriver ---
+  const core::SolveParams& solve_params() const { return opt_; }
+  std::size_t state_count() const { return state_[0].size(); }
+  void poison_state(std::size_t i);
+  void apply_backoff(const resil::GuardOptions& g);
+  void telemetry_forces(double& cl, double& cd) const;
 
   // Scratch for prolongation: coarse state as restricted before smoothing.
   std::vector<std::vector<euler::Cons>> restricted_snapshot_;

@@ -1,0 +1,182 @@
+#include "core/exchange_plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "resil/faults.hpp"
+#include "support/assert.hpp"
+
+namespace columbia::core {
+
+namespace {
+
+/// Same attempt cap as smp::hybrid: a sender never injects into more than
+/// kMaxHaloAttempts - 1 attempts of one message, so the final attempt is
+/// always clean and every exchange terminates with the original payload.
+constexpr int kMaxHaloAttempts = 4;
+
+}  // namespace
+
+ExchangePlan::ExchangePlan(RequestLists requests, ExchangePlanOptions options)
+    : requests_(std::move(requests)), opt_(options) {
+  nparts_ = index_t(requests_.size());
+  COLUMBIA_REQUIRE(nparts_ >= 1);
+  const bool master = opt_.strategy == ExchangeStrategy::MasterThread;
+  const index_t tpp = master ? index_t(opt_.threads_per_process) : 1;
+  COLUMBIA_REQUIRE(tpp >= 1);
+  COLUMBIA_REQUIRE(nparts_ % tpp == 0);
+  auto rank_of = [&](index_t part) { return part / tpp; };
+
+  // Message layouts, keyed (sender rank, receiver rank). Iterating the
+  // receivers' request lists in order reproduces the legacy strategies'
+  // deterministic packing: smp::exchange_* builds its send lists the same
+  // way and unpacks with per-sender cursors, so pack[i] -> unpack[i] here
+  // lands each value in exactly the slot the legacy API fills.
+  std::map<std::pair<index_t, index_t>, Channel> channels;
+  ghost_items_.assign(std::size_t(nparts_), 0);
+  neighbor_count_.assign(std::size_t(nparts_), 0);
+  for (index_t q = 0; q < nparts_; ++q) {
+    const index_t qr = rank_of(q);
+    std::set<index_t> senders;
+    const auto& reqs = requests_[std::size_t(q)];
+    for (std::size_t k = 0; k < reqs.size(); ++k) {
+      const HaloRequest& r = reqs[k];
+      COLUMBIA_REQUIRE(r.from_partition >= 0 && r.from_partition < nparts_);
+      if (r.from_partition != q) {
+        ghost_items_[std::size_t(q)] += 1;
+        senders.insert(r.from_partition);
+      }
+      const index_t sr = rank_of(r.from_partition);
+      if (sr == qr) {
+        local_.push_back({q, index_t(k), r.from_partition, r.item});
+        continue;
+      }
+      Channel& ch = channels[{sr, qr}];
+      ch.sender = sr;
+      ch.receiver = qr;
+      ch.pack.push_back({r.from_partition, r.item});
+      ch.unpack.push_back({q, index_t(k)});
+    }
+    neighbor_count_[std::size_t(q)] = index_t(senders.size());
+  }
+
+  // Persistent buffers, sized once: steady-state exchanges only rewrite
+  // them (resil::frame_payload_into / unframe_payload reuse capacity).
+  channels_.reserve(channels.size());
+  for (auto& [key, ch] : channels) {
+    ch.payload.resize(ch.pack.size());
+    ch.frame.reserve(ch.pack.size() + 2);
+    ch.recv.reserve(ch.pack.size() + 2);
+    channels_.push_back(std::move(ch));
+  }
+  out_.resize(std::size_t(nparts_));
+  for (index_t p = 0; p < nparts_; ++p)
+    out_[std::size_t(p)].resize(requests_[std::size_t(p)].size());
+}
+
+void ExchangePlan::transmit(Channel& ch, std::uint64_t seq) {
+  resil::FaultInjector& inj = resil::FaultInjector::global();
+  for (int attempt = 0;; ++attempt) {
+    resil::frame_payload_into(ch.payload, ch.frame);
+    bool faulted = false;
+    if (inj.armed() && attempt + 1 < kMaxHaloAttempts) {
+      const std::uint64_t site =
+          resil::halo_site(seq, std::uint64_t(ch.sender),
+                           std::uint64_t(ch.receiver), std::uint64_t(attempt));
+      if (inj.should_inject(resil::FaultKind::HaloDrop, site)) {
+        resil::drop_frame(ch.frame);
+        faulted = true;
+      } else if (inj.should_inject(resil::FaultKind::HaloCorrupt, site)) {
+        resil::corrupt_frame(ch.frame, site);
+        faulted = true;
+      }
+    }
+    stats_.messages += 1;
+    stats_.bytes += ch.frame.size() * sizeof(real_t);
+    if (faulted) {
+      stats_.retransmits += 1;
+      OBS_COUNT("resil.halo.retransmits", 1);
+      // The receiver validates the frame and rejects it (corrupt_frame is
+      // a no-op on empty payloads; such a frame still validates and is
+      // delivered, ending the attempt loop early).
+      if (!resil::unframe_payload(ch.frame, ch.recv)) {
+        stats_.rejected += 1;
+        OBS_COUNT("resil.halo.rejected", 1);
+        continue;
+      }
+      return;
+    }
+    const bool ok = resil::unframe_payload(ch.frame, ch.recv);
+    COLUMBIA_REQUIRE(ok);
+    return;
+  }
+}
+
+const PartitionData& ExchangePlan::exchange(const PartitionData& data) {
+  OBS_SPAN("halo.plan.exchange");
+  COLUMBIA_REQUIRE(index_t(data.size()) == nparts_);
+  const std::uint64_t seq = resil::FaultInjector::global().next_exchange_seq();
+  const std::uint64_t messages_before = stats_.messages;
+  const std::uint64_t bytes_before = stats_.bytes;
+
+  // Intra-rank requests: direct shared-memory copies.
+  for (const LocalCopy& c : local_)
+    out_[std::size_t(c.part)][std::size_t(c.pos)] =
+        data[std::size_t(c.from)][std::size_t(c.item)];
+
+  // One framed message per directed rank pair: gather, transmit (with the
+  // retransmit protocol), scatter to the request slots.
+  for (Channel& ch : channels_) {
+    for (std::size_t i = 0; i < ch.pack.size(); ++i)
+      ch.payload[i] =
+          data[std::size_t(ch.pack[i].part)][std::size_t(ch.pack[i].item)];
+    transmit(ch, seq);
+    for (std::size_t i = 0; i < ch.unpack.size(); ++i)
+      out_[std::size_t(ch.unpack[i].part)][std::size_t(ch.unpack[i].pos)] =
+          ch.recv[i];
+  }
+
+  stats_.exchanges += 1;
+  OBS_COUNT("halo.plan.exchanges", 1);
+  OBS_COUNT("halo.plan.messages", stats_.messages - messages_before);
+  OBS_COUNT("halo.plan.bytes", stats_.bytes - bytes_before);
+  return out_;
+}
+
+index_t ExchangePlan::ghost_items(index_t part) const {
+  return ghost_items_[std::size_t(part)];
+}
+
+index_t ExchangePlan::neighbor_count(index_t part) const {
+  return neighbor_count_[std::size_t(part)];
+}
+
+index_t ExchangePlan::max_ghost_items() const {
+  index_t m = 0;
+  for (index_t g : ghost_items_) m = std::max(m, g);
+  return m;
+}
+
+index_t ExchangePlan::total_ghost_items() const {
+  index_t t = 0;
+  for (index_t g : ghost_items_) t += g;
+  return t;
+}
+
+index_t ExchangePlan::max_neighbors() const {
+  index_t m = 0;
+  for (index_t d : neighbor_count_) m = std::max(m, d);
+  return m;
+}
+
+std::uint64_t ExchangePlan::payload_bytes_per_exchange() const {
+  std::uint64_t b = 0;
+  for (const Channel& ch : channels_)
+    b += std::uint64_t(ch.pack.size()) * sizeof(real_t);
+  return b;
+}
+
+}  // namespace columbia::core

@@ -1,0 +1,127 @@
+// Persistent halo-exchange schedules (paper Figs. 6-7; FASTEST-3D-style
+// precomputed communication).
+//
+// The smp::hybrid strategies re-derive every pack list and reallocate
+// every buffer on each call — fine for validating the protocol, wrong for
+// a steady-state solver that exchanges the same halo thousands of times.
+// An ExchangePlan is built once per (partitioning, strategy): it
+// precomputes the per-neighbor message layouts (pack gather lists, unpack
+// scatter slots, intra-rank copies) and owns persistent send/receive
+// buffers sized at build, so steady-state exchanges perform ZERO heap
+// allocations (asserted in tests/test_core.cpp).
+//
+// Both hybrid strategies of paper Fig. 7 are plan policies:
+//
+//   ThreadToThread (Fig. 7a): every partition is its own rank; one
+//     message per communicating partition pair.
+//   MasterThread (Fig. 7b): partitions are grouped into "processes" of
+//     threads_per_process; values bound for a remote process travel in
+//     one packed message and are scattered to the local partitions'
+//     request slots. Fewer, larger messages — NSU3D's strategy.
+//
+// Resilience semantics match smp::exchange_* exactly: every message
+// travels in a checksummed frame ([count, crc32, payload...]); faulted
+// frames (COLUMBIA_FAULTS halo_corrupt / halo_drop) are rejected and
+// retransmitted, bounded by the same attempt cap and drawing the same
+// deterministic fault sites halo_site(seq, sender, receiver, attempt).
+// Delivered values are therefore bit-identical to the legacy API with
+// fault injection on or off (tests/test_core.cpp pins this down).
+#pragma once
+
+#include <cstdint>
+
+#include "core/halo.hpp"
+
+namespace columbia::core {
+
+enum class ExchangeStrategy { ThreadToThread, MasterThread };
+
+struct ExchangePlanOptions {
+  ExchangeStrategy strategy = ExchangeStrategy::ThreadToThread;
+  /// Partitions per process (MasterThread only; must divide the partition
+  /// count). ThreadToThread behaves as threads_per_process == 1.
+  int threads_per_process = 1;
+};
+
+/// Cumulative transport counters across all exchanges of one plan. The
+/// plan moves values by direct copy rather than through smp mailboxes, so
+/// it keeps its own ledger (mirroring smp::TrafficStats accounting:
+/// retransmitted frames count as extra messages/bytes).
+struct ExchangeStats {
+  std::uint64_t exchanges = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;       // framed wire bytes
+  std::uint64_t retransmits = 0;
+  std::uint64_t rejected = 0;
+};
+
+class ExchangePlan {
+ public:
+  ExchangePlan(RequestLists requests, ExchangePlanOptions options = {});
+
+  /// Fetches every requested value; the result is parallel to each
+  /// partition's request list and owned by the plan (valid until the next
+  /// exchange). Performs no heap allocation.
+  const PartitionData& exchange(const PartitionData& data);
+
+  index_t num_partitions() const { return nparts_; }
+  ExchangeStrategy strategy() const { return opt_.strategy; }
+  int threads_per_process() const { return opt_.threads_per_process; }
+  const RequestLists& requests() const { return requests_; }
+  const ExchangeStats& stats() const { return stats_; }
+
+  // --- Schedule statistics (partition granularity, strategy-independent;
+  // the perf machine model consumes these via perf::stats_from_plan) ---
+
+  /// Requested values owned by another partition.
+  index_t ghost_items(index_t part) const;
+  /// Distinct other partitions `part` requests from.
+  index_t neighbor_count(index_t part) const;
+  index_t max_ghost_items() const;
+  index_t total_ghost_items() const;
+  index_t max_neighbors() const;
+
+  /// Wire cost of one steady-state (fault-free) exchange.
+  std::uint64_t messages_per_exchange() const {
+    return std::uint64_t(channels_.size());
+  }
+  std::uint64_t payload_bytes_per_exchange() const;
+
+ private:
+  /// One directed rank-to-rank message: gather list, persistent wire
+  /// buffers, scatter slots. pack[i] feeds unpack[i].
+  struct Channel {
+    index_t sender = 0;    // rank id (partition or process)
+    index_t receiver = 0;
+    struct Source {
+      index_t part, item;
+    };
+    struct Slot {
+      index_t part, pos;  // destination request-list slot
+    };
+    std::vector<Source> pack;
+    std::vector<Slot> unpack;
+    std::vector<real_t> payload;  // packed values (persistent)
+    std::vector<real_t> frame;    // checksummed wire frame (persistent)
+    std::vector<real_t> recv;     // validated receiver payload (persistent)
+  };
+
+  /// Intra-rank request served by direct copy (shared memory).
+  struct LocalCopy {
+    index_t part, pos, from, item;
+  };
+
+  void transmit(Channel& ch, std::uint64_t seq);
+
+  RequestLists requests_;
+  ExchangePlanOptions opt_;
+  index_t nparts_ = 0;
+  std::vector<Channel> channels_;  // (sender, receiver) ascending
+  std::vector<LocalCopy> local_;
+  PartitionData out_;
+  ExchangeStats stats_;
+  std::vector<index_t> ghost_items_;     // per partition
+  std::vector<index_t> neighbor_count_;  // per partition
+};
+
+}  // namespace columbia::core

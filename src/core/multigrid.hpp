@@ -1,0 +1,175 @@
+// The multigrid cycle orchestrator shared by every solver.
+//
+// NSU3D and Cart3D used to each own a copy of the same execution
+// discipline: the V/W level walk with exclusive per-level timing, the
+// convergence loop with its residual-order target, per-cycle telemetry,
+// mid-cycle fault-injection hooks, and the guarded-solve wiring
+// (checkpoint / rollback / CFL backoff). MultigridDriver is that
+// discipline, written once; a solver supplies its physics through a small
+// adapter surface and keeps only its smoothers, transfers and residuals.
+//
+// Required Physics surface (usually private members, with the driver
+// befriended):
+//
+//   const core::SolveParams& solve_params() const;
+//   int num_levels() const;
+//   void smooth(int level, int steps);
+//   void restrict_to(int level);          // level -> level+1
+//   void prolong_correction(int level);   // level+1 -> level
+//   real_t residual_norm();
+//   std::size_t state_count();            // fine-grid state entries
+//   void poison_state(std::size_t i);     // fault hook: NaN one entry
+//   resil::Checkpoint make_checkpoint(std::uint64_t cycle,
+//                                     std::span<const real_t> history) const;
+//   void restore_checkpoint(const resil::Checkpoint& c);
+//   void apply_backoff(const resil::GuardOptions& g);
+//   void telemetry_forces(double& cl, double& cd) const;
+//
+// The driver is a template, not an interface — see DESIGN.md ("Templated
+// driver, not a virtual one") for why.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "obs/obs.hpp"
+#include "resil/faults.hpp"
+#include "resil/guard.hpp"
+#include "support/timer.hpp"
+#include "support/types.hpp"
+
+namespace columbia::core {
+
+template <class Physics>
+class MultigridDriver {
+ public:
+  /// `name` keys every observable artifact ("nsu3d", "cart3d"): span and
+  /// counter names, telemetry records, checkpoint tags.
+  explicit MultigridDriver(std::string name)
+      : name_(std::move(name)),
+        span_cycle_(name_ + ".cycle"),
+        span_level_(name_ + ".level"),
+        span_solve_(name_ + ".solve"),
+        span_guarded_(name_ + ".solve_guarded"),
+        visits_ctr_(&obs::counter(name_ + ".level_visits")) {}
+
+  const std::string& name() const { return name_; }
+
+  /// One multigrid cycle from the finest level; returns the fine-grid
+  /// residual norm. Includes the COLUMBIA_FAULTS state_nan hook: the site
+  /// is a per-attempt counter, so a rolled-back retry of the same cycle
+  /// draws a fresh injection decision instead of re-faulting.
+  real_t run_cycle(Physics& phys) {
+    OBS_SPAN(span_cycle_.c_str());
+    mg_cycle(phys, 0);
+    resil::FaultInjector& inj = resil::FaultInjector::global();
+    if (inj.armed()) {
+      const std::uint64_t site = cycle_seq_++;
+      if (inj.should_inject(resil::FaultKind::StateNaN, site)) {
+        phys.poison_state(std::size_t(
+            resil::site_hash(inj.spec().seed, site) % phys.state_count()));
+      }
+    }
+    return phys.residual_norm();
+  }
+
+  /// Cycles until the residual drops by `orders` orders of magnitude or
+  /// `max_cycles` elapse; returns the residual-norm history (initial norm
+  /// first). Emits one obs::CycleRecord per cycle while convergence
+  /// telemetry is active.
+  std::vector<real_t> solve(Physics& phys, int max_cycles, real_t orders) {
+    OBS_SPAN(span_solve_.c_str());
+    std::vector<real_t> history{phys.residual_norm()};
+    const real_t target = history[0] * std::pow(10.0, -orders);
+    for (int c = 0; c < max_cycles; ++c) {
+      // Telemetry is read-only on the solve: timings and force integrals
+      // never feed back into the state, so histories stay bit-identical
+      // with the JSONL sink open or closed.
+      const bool telem = obs::telemetry_active();
+      if (telem)
+        level_seconds_.assign(std::size_t(phys.num_levels()), 0.0);
+      history.push_back(run_cycle(phys));
+      if (telem) {
+        obs::CycleRecord rec;
+        rec.solver = name_;
+        rec.cycle = c + 1;
+        rec.residual = double(history.back());
+        rec.has_forces = true;
+        phys.telemetry_forces(rec.cl, rec.cd);
+        for (std::size_t l = 0; l < level_seconds_.size(); ++l)
+          rec.levels.push_back({int(l), level_seconds_[l]});
+        obs::emit_cycle(rec);
+      }
+      level_seconds_.clear();
+      if (history.back() <= target) break;
+    }
+    return history;
+  }
+
+  /// Guarded solve: per-cycle NaN/blow-up detection, rollback to the last
+  /// good checkpoint with parameter backoff, optional durable checkpoint +
+  /// resume (see resil::guarded_solve). With faults off and no recovery
+  /// triggered, the history matches solve() bit for bit.
+  resil::GuardedSolveResult solve_guarded(
+      Physics& phys, int max_cycles, real_t orders,
+      const resil::GuardedSolveOptions& options) {
+    OBS_SPAN(span_guarded_.c_str());
+    resil::GuardCallbacks cb;
+    cb.solver = name_;
+    cb.residual_norm = [&phys] { return phys.residual_norm(); };
+    cb.run_cycle = [this, &phys] { return run_cycle(phys); };
+    cb.snapshot = [&phys](std::uint64_t cycle,
+                          std::span<const real_t> history) {
+      return phys.make_checkpoint(cycle, history);
+    };
+    cb.restore = [&phys](const resil::Checkpoint& c) {
+      phys.restore_checkpoint(c);
+    };
+    cb.backoff = [&phys, &options] { phys.apply_backoff(options.guard); };
+    return resil::guarded_solve(options, max_cycles, orders, cb);
+  }
+
+ private:
+  void mg_cycle(Physics& phys, int level) {
+    OBS_SPAN(span_level_.c_str(), "level", level);
+    visits_ctr_->add(1);
+    // Exclusive per-level timing: the stretch before the coarse-grid visit
+    // and the stretch after it, but never the recursion itself.
+    const bool timed = !level_seconds_.empty();
+    WallTimer t;
+    const int nl = phys.num_levels();
+    const SolveParams& p = phys.solve_params();
+    phys.smooth(level, p.smooth_steps);
+    if (level + 1 >= nl) {
+      if (timed) level_seconds_[std::size_t(level)] += t.seconds();
+      return;
+    }
+    phys.restrict_to(level);
+    if (timed) level_seconds_[std::size_t(level)] += t.seconds();
+    const int visits = (p.cycle == CycleType::W && level + 2 < nl) ? 2 : 1;
+    for (int v = 0; v < visits; ++v) mg_cycle(phys, level + 1);
+    t.reset();
+    phys.prolong_correction(level);
+    if (p.post_smooth_steps > 0) phys.smooth(level, p.post_smooth_steps);
+    if (timed) level_seconds_[std::size_t(level)] += t.seconds();
+  }
+
+  std::string name_;
+  std::string span_cycle_, span_level_, span_solve_, span_guarded_;
+  obs::Counter* visits_ctr_;
+
+  /// Exclusive per-level seconds for the current cycle; sized only while
+  /// convergence telemetry is active (obs JSONL sink open), else empty.
+  std::vector<double> level_seconds_;
+
+  /// Monotone cycle-attempt counter: the site id for mid-cycle fault
+  /// injection (resil::FaultKind::StateNaN).
+  std::uint64_t cycle_seq_ = 0;
+};
+
+}  // namespace columbia::core

@@ -1,0 +1,25 @@
+#include "core/params.hpp"
+
+namespace columbia::core {
+
+namespace {
+
+// Mirrors MultigridDriver::mg_cycle's descent exactly: one visit per call,
+// two recursions into the next level for W-cycles unless that level is the
+// coarsest.
+void descend(std::vector<index_t>& v, int nl, CycleType cycle, int level) {
+  v[std::size_t(level)] += 1;
+  if (level + 1 >= nl) return;
+  const int reps = (cycle == CycleType::W && level + 2 < nl) ? 2 : 1;
+  for (int r = 0; r < reps; ++r) descend(v, nl, cycle, level + 1);
+}
+
+}  // namespace
+
+std::vector<index_t> cycle_visits(int num_levels, CycleType cycle) {
+  std::vector<index_t> visits(std::size_t(num_levels), 0);
+  if (num_levels > 0) descend(visits, num_levels, cycle, 0);
+  return visits;
+}
+
+}  // namespace columbia::core

@@ -1,0 +1,38 @@
+// Solver-runtime parameter types shared by every multigrid solver.
+//
+// Both NSU3D (unstructured agglomeration multigrid) and Cart3D (Cartesian
+// SFC-coarsened multigrid) drive the same execution discipline — V/W cycle
+// walks with pre/post smoothing, damped coarse-grid corrections, a
+// residual-order convergence target. The knobs controlling that discipline
+// live here; solver option structs derive from SolveParams and add their
+// physics-specific fields on top.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace columbia::core {
+
+enum class CycleType { V, W };
+
+/// Cycle-control fields common to all multigrid solvers. The
+/// MultigridDriver reads these; physics adapters may mutate cfl (and
+/// their own relaxation knobs) under guard backoff.
+struct SolveParams {
+  int mg_levels = 1;  // 1 = single grid
+  CycleType cycle = CycleType::W;
+  real_t cfl = 1.0;
+  int smooth_steps = 1;       // smoothing steps per level visit
+  int post_smooth_steps = 1;  // smoothing after coarse-grid correction
+  real_t correction_damping = 0.8;  // scales the prolonged correction
+  bool second_order = true;   // limited reconstruction on the fine level
+};
+
+/// Visits each level receives in one multigrid cycle, by replaying the
+/// driver's recursion: a V-cycle touches every level once; a W-cycle
+/// descends twice into every coarse level except the coarsest, giving the
+/// geometric growth toward the coarse grids the paper measures in Sec. VI.
+std::vector<index_t> cycle_visits(int num_levels, CycleType cycle);
+
+}  // namespace columbia::core

@@ -3,19 +3,50 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "graph/agglomerate.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition.hpp"
+#include "smp/pool.hpp"
 #include "support/assert.hpp"
 
 namespace columbia::nsu3d {
 
 using geom::Vec3;
 
+core::RequestLists halo_requests(const Level& lvl,
+                                 std::span<const index_t> part,
+                                 index_t nparts) {
+  const std::size_t np = std::size_t(nparts);
+  // Every cross-partition edge makes each endpoint a ghost of the other
+  // side. Deduplicate and sort by (owner, node): a partition fetches each
+  // ghost once per exchange, packed per neighbor (Fig. 6a).
+  std::vector<std::vector<std::pair<index_t, index_t>>> want(np);
+  for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+    const auto [a, b] = lvl.edges[e];
+    const index_t pa = part[std::size_t(a)];
+    const index_t pb = part[std::size_t(b)];
+    if (pa == pb) continue;
+    want[std::size_t(pa)].push_back({pb, b});
+    want[std::size_t(pb)].push_back({pa, a});
+  }
+  core::RequestLists requests(np);
+  for (index_t p = 0; p < nparts; ++p) {
+    auto& w = want[std::size_t(p)];
+    std::sort(w.begin(), w.end());
+    w.erase(std::unique(w.begin(), w.end()), w.end());
+    requests[std::size_t(p)].reserve(w.size());
+    for (const auto& [owner, node] : w)
+      requests[std::size_t(p)].push_back({owner, node});
+  }
+  return requests;
+}
+
 PartitionPlan build_partition_plan(const std::vector<Level>& levels,
                                    index_t nparts, std::uint64_t seed) {
   COLUMBIA_REQUIRE(!levels.empty() && nparts >= 1);
+  const std::size_t np = std::size_t(nparts);
   PartitionPlan plan;
   plan.nparts = nparts;
 
@@ -53,7 +84,7 @@ PartitionPlan build_partition_plan(const std::vector<Level>& levels,
     }
 
     // Work statistics.
-    std::vector<index_t> count(std::size_t(nparts), 0);
+    std::vector<index_t> count(np, 0);
     for (index_t p : dec.part) ++count[std::size_t(p)];
     index_t max_nodes = 0;
     for (index_t c : count) {
@@ -63,32 +94,13 @@ PartitionPlan build_partition_plan(const std::vector<Level>& levels,
     dec.max_part_nodes = real_t(max_nodes);
     dec.avg_part_nodes = real_t(lvl.num_nodes) / real_t(nparts);
 
-    // Halo statistics: ghosts per part and communication degree.
-    std::vector<std::set<index_t>> ghosts(std::size_t(nparts), std::set<index_t>{});
-    std::vector<std::set<index_t>> neighbors(std::size_t(nparts), std::set<index_t>{});
-    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
-      const auto [a, b] = lvl.edges[e];
-      const index_t pa = dec.part[std::size_t(a)];
-      const index_t pb = dec.part[std::size_t(b)];
-      if (pa == pb) continue;
-      ghosts[std::size_t(pa)].insert(b);
-      ghosts[std::size_t(pb)].insert(a);
-      neighbors[std::size_t(pa)].insert(pb);
-      neighbors[std::size_t(pb)].insert(pa);
-    }
-    for (index_t p = 0; p < nparts; ++p) {
-      dec.max_ghost_nodes =
-          std::max(dec.max_ghost_nodes, real_t(ghosts[std::size_t(p)].size()));
-      dec.total_ghost_nodes += real_t(ghosts[std::size_t(p)].size());
-      dec.max_comm_degree = std::max(
-          dec.max_comm_degree, index_t(neighbors[std::size_t(p)].size()));
-    }
+    // Halo statistics: ghosts per part and communication degree, read off
+    // the exchange schedule this decomposition implies.
+    const core::ExchangePlan xplan(halo_requests(lvl, dec.part, nparts));
+    dec.max_ghost_nodes = real_t(xplan.max_ghost_items());
+    dec.total_ghost_nodes = real_t(xplan.total_ghost_items());
+    dec.max_comm_degree = xplan.max_neighbors();
 
-    // Inter-grid transfer statistics to the next coarser level.
-    if (l + 1 < levels.size()) {
-      // Needs the coarse partition; fill on the next iteration by peeking:
-      // store fine part now, compute when the coarse level is done.
-    }
     plan.levels.push_back(std::move(dec));
     prev_part = plan.levels.back().part;
   }
@@ -98,8 +110,8 @@ PartitionPlan build_partition_plan(const std::vector<Level>& levels,
     const Level& fine = levels[l];
     const auto& fpart = plan.levels[l].part;
     const auto& cpart = plan.levels[l + 1].part;
-    std::vector<std::set<index_t>> ig_neighbors(std::size_t(nparts), std::set<index_t>{});
-    std::vector<real_t> per_part(std::size_t(nparts), 0.0);
+    std::vector<std::set<index_t>> ig_neighbors(np, std::set<index_t>{});
+    std::vector<real_t> per_part(np, 0.0);
     real_t items = 0;
     for (index_t v = 0; v < fine.num_nodes; ++v) {
       const index_t fp = fpart[std::size_t(v)];
@@ -134,156 +146,200 @@ std::vector<State> parallel_residual(const Level& lvl,
                                      const std::vector<State>& u,
                                      const euler::Prim& freestream,
                                      std::span<const index_t> part,
-                                     index_t nparts) {
+                                     index_t nparts,
+                                     const core::ExchangePlanOptions& comm) {
   const std::size_t n = std::size_t(lvl.num_nodes);
+  const std::size_t np = std::size_t(nparts);
   COLUMBIA_REQUIRE(part.size() == n);
 
-  // Edge ownership: the partition of the lower endpoint (a < b).
-  // Exchange plan per rank pair.
-  struct Exchange {
-    std::vector<index_t> send_states;  // my nodes the peer needs
-    std::vector<index_t> recv_states;  // peer nodes I need (ghosts)
-    std::vector<index_t> send_residuals;  // peer-owned nodes I accumulate
-    std::vector<index_t> recv_residuals;  // my nodes peers accumulate
-  };
-  // plan[p][q] for q != p.
-  std::vector<std::map<index_t, Exchange>> plan(std::size_t(nparts),
-                                               std::map<index_t, Exchange>{});
+  // Slot of every node in its owner's packed state array (owned nodes in
+  // ascending id order) — the item space both exchange plans address.
+  std::vector<index_t> slot(n, 0);
+  std::vector<index_t> owned_count(np, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    slot[v] = owned_count[std::size_t(part[v])]++;
+  }
+
+  // Ghost-state schedule: six components per ghost node, addressed into
+  // the owner's packed array.
+  const core::RequestLists ghosts = halo_requests(lvl, part, nparts);
+  core::RequestLists reqs1(np);
+  for (index_t p = 0; p < nparts; ++p) {
+    const auto& g = ghosts[std::size_t(p)];
+    reqs1[std::size_t(p)].reserve(g.size() * 6);
+    for (const core::HaloRequest& r : g)
+      for (index_t c = 0; c < 6; ++c)
+        reqs1[std::size_t(p)].push_back(
+            {r.from_partition, slot[std::size_t(r.item)] * 6 + c});
+  }
+  core::ExchangePlan plan1(std::move(reqs1), comm);
+
+  // Residual-contribution lists: contrib[p][q] = nodes owned by q whose
+  // residual partition p accumulates (p owns cross edges touching them),
+  // deduplicated and sorted for deterministic packing.
+  std::vector<std::map<index_t, std::vector<index_t>>> contrib(
+      np, std::map<index_t, std::vector<index_t>>{});
   for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
     const auto [a, b] = lvl.edges[e];
     const index_t pa = part[std::size_t(a)];
     const index_t pb = part[std::size_t(b)];
     if (pa == pb) continue;
-    // Owner of the edge: pa (a < b by construction).
-    // Owner needs b's state from pb, and returns b's residual to pb.
-    plan[std::size_t(pa)][pb].recv_states.push_back(b);
-    plan[std::size_t(pb)][pa].send_states.push_back(b);
-    plan[std::size_t(pa)][pb].send_residuals.push_back(b);
-    plan[std::size_t(pb)][pa].recv_residuals.push_back(b);
+    // Owner of the edge: pa (a < b by construction); it accumulates b's
+    // share and returns it to pb.
+    contrib[std::size_t(pa)][pb].push_back(b);
   }
-  // Deduplicate and sort for deterministic packing.
-  for (auto& per_rank : plan)
-    for (auto& [q, ex] : per_rank) {
-      auto dedupe = [](std::vector<index_t>& v) {
-        std::sort(v.begin(), v.end());
-        v.erase(std::unique(v.begin(), v.end()), v.end());
-      };
-      dedupe(ex.send_states);
-      dedupe(ex.recv_states);
-      dedupe(ex.send_residuals);
-      dedupe(ex.recv_residuals);
+  for (auto& per_rank : contrib)
+    for (auto& [q, nodes] : per_rank) {
+      std::sort(nodes.begin(), nodes.end());
+      nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
     }
+
+  // Contribution buffers are packed per sender in (receiver asc, node asc)
+  // order; coff[p][q] = first slot of the block bound for q.
+  std::vector<std::map<index_t, index_t>> coff(np);
+  std::vector<index_t> contrib_count(np, 0);
+  for (index_t p = 0; p < nparts; ++p) {
+    index_t off = 0;
+    for (const auto& [q, nodes] : contrib[std::size_t(p)]) {
+      coff[std::size_t(p)][q] = off;
+      off += index_t(nodes.size());
+    }
+    contrib_count[std::size_t(p)] = off;
+  }
+  core::RequestLists reqs2(np);
+  for (index_t p = 0; p < nparts; ++p)
+    for (index_t q = 0; q < nparts; ++q) {
+      const auto it = contrib[std::size_t(q)].find(p);
+      if (it == contrib[std::size_t(q)].end()) continue;
+      const index_t base = coff[std::size_t(q)].at(p);
+      for (std::size_t k = 0; k < it->second.size(); ++k)
+        for (index_t c = 0; c < 6; ++c)
+          reqs2[std::size_t(p)].push_back({q, (base + index_t(k)) * 6 + c});
+    }
+  core::ExchangePlan plan2(std::move(reqs2), comm);
+
+  // Phase 1: pack owned states and fetch every ghost state (one packed
+  // message per neighbor pair).
+  core::PartitionData state_data(np);
+  for (index_t p = 0; p < nparts; ++p)
+    state_data[std::size_t(p)].resize(std::size_t(owned_count[std::size_t(p)]) * 6);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t c = 0; c < 6; ++c)
+      state_data[std::size_t(part[v])][std::size_t(slot[v]) * 6 + c] = u[v][c];
+  const core::PartitionData& ghost_vals = plan1.exchange(state_data);
+
+  // Phase 2: flux accumulation over owned edges (first-order), one rank
+  // per partition on the thread pool; each rank reads only its own ghost
+  // block and writes only its own residual array.
+  std::vector<std::vector<State>> res_of(np);
+  smp::ThreadPool::global().parallel_for(
+      0, np, 1, [&](std::size_t pb, std::size_t pe, int) {
+        for (std::size_t mep = pb; mep < pe; ++mep) {
+          const index_t me = index_t(mep);
+          std::vector<State> ghost(n, State{});  // sparse by construction
+          const auto& g = ghosts[mep];
+          const auto& got = ghost_vals[mep];
+          for (std::size_t k = 0; k < g.size(); ++k)
+            for (std::size_t c = 0; c < 6; ++c)
+              ghost[std::size_t(g[k].item)][c] = got[k * 6 + c];
+
+          auto state_of = [&](index_t v) -> const State& {
+            return part[std::size_t(v)] == me ? u[std::size_t(v)]
+                                              : ghost[std::size_t(v)];
+          };
+          auto prim_of = [&](index_t v) {
+            const State& s = state_of(v);
+            const real_t inv = 1.0 / s[0];
+            const Vec3 vel{s[1] * inv, s[2] * inv, s[3] * inv};
+            const real_t p =
+                (euler::kGamma - 1) * (s[4] - 0.5 * s[0] * dot(vel, vel));
+            return euler::Prim{s[0], vel, p};
+          };
+
+          std::vector<State> res(n, State{});
+          for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+            const auto [a, b] = lvl.edges[e];
+            if (part[std::size_t(a)] != me) continue;  // edge owner rule
+            const real_t area = norm(lvl.edge_normal[e]);
+            if (area <= 0) continue;
+            const Vec3 nh = lvl.edge_normal[e] / area;
+            const euler::Prim wl = prim_of(a);
+            const euler::Prim wr = prim_of(b);
+            const euler::Cons flux =
+                euler::numerical_flux(wl, wr, nh, euler::FluxScheme::Roe);
+            const real_t mdot = flux[0] * area;
+            const real_t nut_l = state_of(a)[5] / wl.rho;
+            const real_t nut_r = state_of(b)[5] / wr.rho;
+            const real_t fnut = mdot * (mdot >= 0 ? nut_l : nut_r);
+            for (int c = 0; c < 5; ++c) {
+              res[std::size_t(a)][std::size_t(c)] += area * flux[std::size_t(c)];
+              res[std::size_t(b)][std::size_t(c)] -= area * flux[std::size_t(c)];
+            }
+            res[std::size_t(a)][5] += fnut;
+            res[std::size_t(b)][5] -= fnut;
+          }
+          // Interior edges owned by other ranks but touching my nodes are
+          // accumulated remotely and returned below. Boundary closures
+          // are node-local:
+          for (index_t v = 0; v < index_t(n); ++v) {
+            if (part[std::size_t(v)] != me) continue;
+            const euler::Prim w = prim_of(v);
+            const Vec3& fn = lvl.boundary_normal[std::size_t(v)]
+                                                [std::size_t(mesh::BoundaryTag::Farfield)];
+            const real_t fa = norm(fn);
+            if (fa > 0) {
+              const euler::Cons flux = euler::farfield_flux(
+                  w, freestream, fn / fa, euler::FluxScheme::Roe);
+              for (int c = 0; c < 5; ++c)
+                res[std::size_t(v)][std::size_t(c)] += fa * flux[std::size_t(c)];
+              const real_t mdot = flux[0] * fa;
+              res[std::size_t(v)][5] +=
+                  mdot * (mdot >= 0 ? state_of(v)[5] / w.rho : 0.0);
+            }
+            for (mesh::BoundaryTag tag :
+                 {mesh::BoundaryTag::Wall, mesh::BoundaryTag::Symmetry}) {
+              const Vec3& bn =
+                  lvl.boundary_normal[std::size_t(v)][std::size_t(tag)];
+              if (dot(bn, bn) > 0) {
+                const euler::Cons flux = euler::wall_flux(w, bn);
+                for (int c = 0; c < 5; ++c)
+                  res[std::size_t(v)][std::size_t(c)] += flux[std::size_t(c)];
+              }
+            }
+          }
+          res_of[mep] = std::move(res);
+        }
+      });
+
+  // Phase 3: return ghost-vertex residual contributions to their owners
+  // (the packed send of Fig. 6a's accumulate step) through the second
+  // plan, and assemble owned rows.
+  core::PartitionData contrib_data(np);
+  for (index_t p = 0; p < nparts; ++p) {
+    auto& buf = contrib_data[std::size_t(p)];
+    buf.resize(std::size_t(contrib_count[std::size_t(p)]) * 6);
+    std::size_t w = 0;
+    for (const auto& [q, nodes] : contrib[std::size_t(p)])
+      for (index_t v : nodes)
+        for (std::size_t c = 0; c < 6; ++c)
+          buf[w++] = res_of[std::size_t(p)][std::size_t(v)][c];
+  }
+  const core::PartitionData& returned = plan2.exchange(contrib_data);
 
   std::vector<State> result(n, State{});
-  smp::Runtime rt{int(nparts)};
-  rt.run([&](smp::Comm& comm) {
-    const index_t me = index_t(comm.rank());
-    // Phase 1: exchange boundary states (packed, one message per neighbor).
-    std::vector<State> ghost(n, State{});  // sparse by construction
-    for (const auto& [q, ex] : plan[std::size_t(me)]) {
-      std::vector<real_t> buf;
-      buf.reserve(ex.send_states.size() * 6);
-      for (index_t v : ex.send_states)
-        for (int c = 0; c < 6; ++c)
-          buf.push_back(u[std::size_t(v)][std::size_t(c)]);
-      comm.send(int(q), 1, buf);
+  for (std::size_t v = 0; v < n; ++v)
+    result[v] = res_of[std::size_t(part[v])][v];
+  for (index_t p = 0; p < nparts; ++p) {
+    const auto& got = returned[std::size_t(p)];
+    std::size_t k = 0;
+    for (index_t q = 0; q < nparts; ++q) {
+      const auto it = contrib[std::size_t(q)].find(p);
+      if (it == contrib[std::size_t(q)].end()) continue;
+      for (index_t v : it->second)
+        for (std::size_t c = 0; c < 6; ++c)
+          result[std::size_t(v)][c] += got[k++];
     }
-    for (const auto& [q, ex] : plan[std::size_t(me)]) {
-      const std::vector<real_t> buf = comm.recv(int(q), 1);
-      COLUMBIA_REQUIRE(buf.size() == ex.recv_states.size() * 6);
-      for (std::size_t k = 0; k < ex.recv_states.size(); ++k)
-        for (int c = 0; c < 6; ++c)
-          ghost[std::size_t(ex.recv_states[k])][std::size_t(c)] =
-              buf[k * 6 + std::size_t(c)];
-    }
-
-    auto state_of = [&](index_t v) -> const State& {
-      return part[std::size_t(v)] == me ? u[std::size_t(v)]
-                                        : ghost[std::size_t(v)];
-    };
-    auto prim_of = [&](index_t v) {
-      const State& s = state_of(v);
-      const real_t inv = 1.0 / s[0];
-      const Vec3 vel{s[1] * inv, s[2] * inv, s[3] * inv};
-      const real_t p = (euler::kGamma - 1) * (s[4] - 0.5 * s[0] * dot(vel, vel));
-      return euler::Prim{s[0], vel, p};
-    };
-
-    // Phase 2: flux accumulation over owned edges (first-order).
-    std::vector<State> res(n, State{});
-    for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
-      const auto [a, b] = lvl.edges[e];
-      if (part[std::size_t(a)] != me) continue;  // edge owner rule
-      const real_t area = norm(lvl.edge_normal[e]);
-      if (area <= 0) continue;
-      const Vec3 nh = lvl.edge_normal[e] / area;
-      const euler::Prim wl = prim_of(a);
-      const euler::Prim wr = prim_of(b);
-      const euler::Cons flux =
-          euler::numerical_flux(wl, wr, nh, euler::FluxScheme::Roe);
-      const real_t mdot = flux[0] * area;
-      const real_t nut_l = state_of(a)[5] / wl.rho;
-      const real_t nut_r = state_of(b)[5] / wr.rho;
-      const real_t fnut = mdot * (mdot >= 0 ? nut_l : nut_r);
-      for (int c = 0; c < 5; ++c) {
-        res[std::size_t(a)][std::size_t(c)] += area * flux[std::size_t(c)];
-        res[std::size_t(b)][std::size_t(c)] -= area * flux[std::size_t(c)];
-      }
-      res[std::size_t(a)][5] += fnut;
-      res[std::size_t(b)][5] -= fnut;
-    }
-    // Interior edges owned by other ranks but touching my nodes are
-    // accumulated remotely and returned below. Boundary closures are
-    // node-local:
-    for (index_t v = 0; v < index_t(n); ++v) {
-      if (part[std::size_t(v)] != me) continue;
-      const euler::Prim w = prim_of(v);
-      const Vec3& fn =
-          lvl.boundary_normal[std::size_t(v)][std::size_t(mesh::BoundaryTag::Farfield)];
-      const real_t fa = norm(fn);
-      if (fa > 0) {
-        const euler::Cons flux = euler::farfield_flux(
-            w, freestream, fn / fa, euler::FluxScheme::Roe);
-        for (int c = 0; c < 5; ++c)
-          res[std::size_t(v)][std::size_t(c)] += fa * flux[std::size_t(c)];
-        const real_t mdot = flux[0] * fa;
-        res[std::size_t(v)][5] +=
-            mdot * (mdot >= 0 ? state_of(v)[5] / w.rho : 0.0);
-      }
-      for (mesh::BoundaryTag tag :
-           {mesh::BoundaryTag::Wall, mesh::BoundaryTag::Symmetry}) {
-        const Vec3& bn = lvl.boundary_normal[std::size_t(v)][std::size_t(tag)];
-        if (dot(bn, bn) > 0) {
-          const euler::Cons flux = euler::wall_flux(w, bn);
-          for (int c = 0; c < 5; ++c)
-            res[std::size_t(v)][std::size_t(c)] += flux[std::size_t(c)];
-        }
-      }
-    }
-
-    // Phase 3: return ghost-vertex residual contributions to their owners
-    // (the packed send of Fig. 6a's accumulate step).
-    for (const auto& [q, ex] : plan[std::size_t(me)]) {
-      std::vector<real_t> buf;
-      buf.reserve(ex.send_residuals.size() * 6);
-      for (index_t v : ex.send_residuals)
-        for (int c = 0; c < 6; ++c)
-          buf.push_back(res[std::size_t(v)][std::size_t(c)]);
-      comm.send(int(q), 2, buf);
-    }
-    for (const auto& [q, ex] : plan[std::size_t(me)]) {
-      const std::vector<real_t> buf = comm.recv(int(q), 2);
-      COLUMBIA_REQUIRE(buf.size() == ex.recv_residuals.size() * 6);
-      for (std::size_t k = 0; k < ex.recv_residuals.size(); ++k)
-        for (int c = 0; c < 6; ++c)
-          res[std::size_t(ex.recv_residuals[k])][std::size_t(c)] +=
-              buf[k * 6 + std::size_t(c)];
-    }
-
-    // Publish owned rows (disjoint writes across ranks).
-    for (index_t v = 0; v < index_t(n); ++v)
-      if (part[std::size_t(v)] == me) result[std::size_t(v)] = res[std::size_t(v)];
-  });
+  }
   return result;
 }
 

@@ -15,9 +15,9 @@
 
 #include <vector>
 
+#include "core/exchange_plan.hpp"
 #include "nsu3d/level.hpp"
 #include "nsu3d/solver.hpp"
-#include "smp/runtime.hpp"
 
 namespace columbia::nsu3d {
 
@@ -52,15 +52,27 @@ PartitionPlan build_partition_plan(const std::vector<Level>& levels,
 /// Verifies that no implicit line of the fine level is split by the plan.
 bool lines_unbroken(const Level& fine, std::span<const index_t> part);
 
-/// Parallel first-order residual evaluation over smp threads: partitions
-/// owned nodes per rank, exchanges ghost states (one packed message per
-/// neighbor pair, as in the paper), accumulates edge fluxes locally, then
-/// adds ghost contributions. Used to validate the halo machinery: the
-/// result must match the serial residual bit-for-bit up to summation order.
+/// Ghost-state request lists of a level decomposition: for each partition,
+/// the unique cross-partition edge endpoints it needs each exchange,
+/// sorted by (owner, node) for deterministic packing. `item` is the
+/// global node id (callers that exchange packed per-partition arrays
+/// remap items onto their own slot layout).
+core::RequestLists halo_requests(const Level& lvl,
+                                 std::span<const index_t> part,
+                                 index_t nparts);
+
+/// Parallel first-order residual evaluation: partitions owned nodes per
+/// rank, fetches ghost states through a core::ExchangePlan (one packed
+/// message per neighbor pair, as in the paper), accumulates edge fluxes
+/// rank-local on the thread pool, then returns ghost contributions
+/// through a second plan. Used to validate the halo machinery: the result
+/// must match the serial residual bit-for-bit up to summation order, with
+/// either exchange strategy and with halo fault injection on or off.
 std::vector<State> parallel_residual(const Level& lvl,
                                      const std::vector<State>& u,
                                      const euler::Prim& freestream,
                                      std::span<const index_t> part,
-                                     index_t nparts);
+                                     index_t nparts,
+                                     const core::ExchangePlanOptions& comm = {});
 
 }  // namespace columbia::nsu3d

@@ -699,29 +699,6 @@ void Nsu3dSolver::prolong_correction(int l) {
   apply_strong_bcs(l, uf);
 }
 
-void Nsu3dSolver::mg_cycle(int l) {
-  OBS_SPAN("nsu3d.level", "level", l);
-  OBS_COUNT("nsu3d.level_visits", 1);
-  // Exclusive per-level timing: the stretch before the coarse-grid visit
-  // and the stretch after it, but never the recursion itself.
-  const bool timed = !level_seconds_.empty();
-  WallTimer t;
-  const int nl = num_levels();
-  smooth(l, opt_.smooth_steps);
-  if (l + 1 >= nl) {
-    if (timed) level_seconds_[std::size_t(l)] += t.seconds();
-    return;
-  }
-  restrict_to(l);
-  if (timed) level_seconds_[std::size_t(l)] += t.seconds();
-  const int visits = (opt_.cycle == CycleType::W && l + 2 < nl) ? 2 : 1;
-  for (int v = 0; v < visits; ++v) mg_cycle(l + 1);
-  t.reset();
-  prolong_correction(l);
-  if (opt_.post_smooth_steps > 0) smooth(l, opt_.post_smooth_steps);
-  if (timed) level_seconds_[std::size_t(l)] += t.seconds();
-}
-
 real_t Nsu3dSolver::residual_norm() {
   compute_residual(0, state_[0], residual_[0], opt_.second_order);
   const Level& lvl = levels_[0];
@@ -745,24 +722,12 @@ real_t Nsu3dSolver::residual_norm() {
   return std::sqrt(sum / real_t(std::max<std::size_t>(1, cnt)));
 }
 
-real_t Nsu3dSolver::run_cycle() {
-  OBS_SPAN("nsu3d.cycle");
-  mg_cycle(0);
-  // Fault-injection hook (COLUMBIA_FAULTS state_nan): poison one energy
-  // entry after the cycle's updates so the guard sees a non-finite
-  // residual. The site is a per-attempt counter, so a rolled-back retry
-  // of the same cycle draws a fresh decision instead of re-faulting.
-  resil::FaultInjector& inj = resil::FaultInjector::global();
-  if (inj.armed()) {
-    const std::uint64_t site = cycle_seq_++;
-    if (inj.should_inject(resil::FaultKind::StateNaN, site)) {
-      auto& u = state_[0];
-      const std::size_t i =
-          std::size_t(resil::site_hash(inj.spec().seed, site) % u.size());
-      u[i][4] = std::numeric_limits<real_t>::quiet_NaN();
-    }
-  }
-  return residual_norm();
+real_t Nsu3dSolver::run_cycle() { return driver_.run_cycle(*this); }
+
+/// Fault hook (COLUMBIA_FAULTS state_nan): poison one energy entry after
+/// the cycle's updates so the guard sees a non-finite residual.
+void Nsu3dSolver::poison_state(std::size_t i) {
+  state_[0][i][4] = std::numeric_limits<real_t>::quiet_NaN();
 }
 
 resil::Checkpoint Nsu3dSolver::make_checkpoint(
@@ -791,50 +756,24 @@ void Nsu3dSolver::restore_checkpoint(const resil::Checkpoint& c) {
 
 resil::GuardedSolveResult Nsu3dSolver::solve_guarded(
     int max_cycles, real_t orders, const resil::GuardedSolveOptions& options) {
-  OBS_SPAN("nsu3d.solve_guarded");
-  resil::GuardCallbacks cb;
-  cb.solver = "nsu3d";
-  cb.residual_norm = [this] { return residual_norm(); };
-  cb.run_cycle = [this] { return run_cycle(); };
-  cb.snapshot = [this](std::uint64_t cycle, std::span<const real_t> history) {
-    return make_checkpoint(cycle, history);
-  };
-  cb.restore = [this](const resil::Checkpoint& c) { restore_checkpoint(c); };
-  cb.backoff = [this, &options] {
-    opt_.cfl *= options.guard.cfl_backoff;
-    opt_.relax *= options.guard.relax_backoff;
-  };
-  return resil::guarded_solve(options, max_cycles, orders, cb);
+  return driver_.solve_guarded(*this, max_cycles, orders, options);
+}
+
+/// The line-implicit smoother has both a CFL and a relaxation knob; guard
+/// backoff retreats on both.
+void Nsu3dSolver::apply_backoff(const resil::GuardOptions& g) {
+  opt_.cfl *= g.cfl_backoff;
+  opt_.relax *= g.relax_backoff;
+}
+
+void Nsu3dSolver::telemetry_forces(double& cl, double& cd) const {
+  const Forces f = integrate_forces();
+  cl = double(f.cl);
+  cd = double(f.cd);
 }
 
 std::vector<real_t> Nsu3dSolver::solve(int max_cycles, real_t orders) {
-  OBS_SPAN("nsu3d.solve");
-  std::vector<real_t> history{residual_norm()};
-  const real_t target = history[0] * std::pow(10.0, -orders);
-  for (int c = 0; c < max_cycles; ++c) {
-    // Telemetry is read-only on the solve: timings and force integrals
-    // never feed back into the state, so histories stay bit-identical
-    // with the JSONL sink open or closed.
-    const bool telem = obs::telemetry_active();
-    if (telem) level_seconds_.assign(levels_.size(), 0.0);
-    history.push_back(run_cycle());
-    if (telem) {
-      obs::CycleRecord rec;
-      rec.solver = "nsu3d";
-      rec.cycle = c + 1;
-      rec.residual = double(history.back());
-      const Forces f = integrate_forces();
-      rec.has_forces = true;
-      rec.cl = double(f.cl);
-      rec.cd = double(f.cd);
-      for (std::size_t l = 0; l < level_seconds_.size(); ++l)
-        rec.levels.push_back({int(l), level_seconds_[l]});
-      obs::emit_cycle(rec);
-    }
-    level_seconds_.clear();
-    if (history.back() <= target) break;
-  }
-  return history;
+  return driver_.solve(*this, max_cycles, orders);
 }
 
 Forces Nsu3dSolver::integrate_forces() const {
@@ -858,19 +797,8 @@ Forces Nsu3dSolver::integrate_forces() const {
 }
 
 std::vector<LevelWork> Nsu3dSolver::level_work() const {
-  std::vector<index_t> visits(levels_.size(), 0);
-  struct Counter {
-    std::vector<index_t>& v;
-    int nl;
-    CycleType cyc;
-    void descend(int level) {
-      v[std::size_t(level)] += 1;
-      if (level + 1 >= nl) return;
-      const int reps = (cyc == CycleType::W && level + 2 < nl) ? 2 : 1;
-      for (int r = 0; r < reps; ++r) descend(level + 1);
-    }
-  } counter{visits, int(levels_.size()), opt_.cycle};
-  counter.descend(0);
+  const std::vector<index_t> visits =
+      core::cycle_visits(int(levels_.size()), opt_.cycle);
 
   std::vector<LevelWork> w;
   for (std::size_t l = 0; l < levels_.size(); ++l) {

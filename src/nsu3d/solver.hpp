@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "core/multigrid.hpp"
+#include "core/params.hpp"
 #include "euler/flux.hpp"
 #include "euler/state.hpp"
 #include "linalg/block.hpp"
@@ -26,21 +28,21 @@ namespace columbia::nsu3d {
 /// Conservative state per node: [rho, rho u, rho v, rho w, rho E, rho nu~].
 using State = std::array<real_t, 6>;
 
-enum class CycleType { V, W };
+using CycleType = core::CycleType;  // shared cycle vocabulary (core/)
 enum class SmootherKind { PointImplicit, LineImplicit };
 
-struct Nsu3dOptions {
-  int mg_levels = 4;
-  CycleType cycle = CycleType::W;
+/// Cycle-control fields (mg_levels, cycle, cfl, smoothing steps,
+/// correction damping, second_order) live in core::SolveParams; only the
+/// RANS-specific knobs are added here.
+struct Nsu3dOptions : core::SolveParams {
+  Nsu3dOptions() {
+    mg_levels = 4;
+    cfl = 20.0;  // implicit smoothing tolerates large CFL
+  }
   SmootherKind smoother = SmootherKind::LineImplicit;
   euler::FluxScheme flux = euler::FluxScheme::Roe;
-  real_t cfl = 20.0;          // implicit smoothing tolerates large CFL
-  real_t relax = 0.7;         // update under-relaxation
-  int smooth_steps = 1;
-  int post_smooth_steps = 1;
-  real_t correction_damping = 0.8;
-  bool second_order = true;
-  bool viscous = true;        // include viscous terms + SA (RANS mode)
+  real_t relax = 0.7;  // update under-relaxation
+  bool viscous = true;  // include viscous terms + SA (RANS mode)
   real_t line_threshold = 4.0;
   /// Color-major edge reorder for threaded scatter loops (see Level).
   /// Disable only for serial edge-order equivalence tests.
@@ -105,6 +107,8 @@ class Nsu3dSolver {
                         std::vector<State>& res, bool second_order);
 
  private:
+  friend class core::MultigridDriver<Nsu3dSolver>;
+
   Nsu3dOptions opt_;
   euler::FlowConditions cond_;
   euler::Prim freestream_;
@@ -137,20 +141,22 @@ class Nsu3dSolver {
   };
   std::vector<Workspace> work_;
 
-  /// Exclusive per-level seconds for the current cycle; sized only while
-  /// convergence telemetry is active (obs JSONL sink open), else empty.
-  std::vector<double> level_seconds_;
-
-  /// Monotone cycle-attempt counter: the site id for mid-cycle fault
-  /// injection (resil::FaultKind::StateNaN), advanced every run_cycle so a
-  /// rolled-back retry draws a fresh injection decision.
-  std::uint64_t cycle_seq_ = 0;
+  /// Cycle orchestration (level walk, convergence loop, guard wiring,
+  /// telemetry, fault hooks) lives in the shared driver; this class keeps
+  /// only the physics it feeds the driver.
+  core::MultigridDriver<Nsu3dSolver> driver_{"nsu3d"};
 
   void smooth(int l, int steps);
   void apply_strong_bcs(int l, std::vector<State>& u) const;
-  void mg_cycle(int l);
   void restrict_to(int l);
   void prolong_correction(int l);
+
+  // --- Adapter surface consumed by core::MultigridDriver ---
+  const core::SolveParams& solve_params() const { return opt_; }
+  std::size_t state_count() const { return state_[0].size(); }
+  void poison_state(std::size_t i);
+  void apply_backoff(const resil::GuardOptions& g);
+  void telemetry_forces(double& cl, double& cd) const;
 };
 
 }  // namespace columbia::nsu3d

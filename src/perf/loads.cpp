@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "cart3d/partitioned.hpp"
 #include "graph/csr.hpp"
 #include "graph/lines.hpp"
 #include "graph/partition.hpp"
@@ -62,20 +63,15 @@ LevelLoad load_from_stats(const MeasuredStats& st, real_t target_items_per_part,
 }  // namespace
 
 std::vector<index_t> cycle_visits(int nl, bool w_cycle) {
-  std::vector<index_t> visits(std::size_t(nl), 0);
-  struct Counter {
-    std::vector<index_t>& v;
-    int nl;
-    bool w;
-    void descend(int level) {
-      v[std::size_t(level)] += 1;
-      if (level + 1 >= nl) return;
-      const int reps = (w && level + 2 < nl) ? 2 : 1;
-      for (int r = 0; r < reps; ++r) descend(level + 1);
-    }
-  } counter{visits, nl, w_cycle};
-  if (nl > 0) counter.descend(0);
-  return visits;
+  return core::cycle_visits(nl, w_cycle ? core::CycleType::W
+                                        : core::CycleType::V);
+}
+
+MeasuredStats stats_from_plan(const core::ExchangePlan& plan) {
+  MeasuredStats st;
+  st.max_halo_items = real_t(plan.max_ghost_items());
+  st.comm_neighbors = plan.max_neighbors();
+  return st;
 }
 
 Nsu3dLoadModel::Nsu3dLoadModel(std::vector<nsu3d::Level> levels, real_t scale,
@@ -101,11 +97,10 @@ MeasuredStats Nsu3dLoadModel::measure(int level, index_t nparts) {
       nsu3d::build_partition_plan(slice, nparts, 1234 + std::uint64_t(level));
   const nsu3d::LevelDecomposition& dec = plan.levels[0];
 
-  MeasuredStats st;
+  MeasuredStats st = stats_from_plan(
+      core::ExchangePlan(nsu3d::halo_requests(slice[0], dec.part, nparts)));
   st.measured_avg_items = std::max<real_t>(dec.avg_part_nodes, 1e-9);
   st.imbalance = dec.max_part_nodes / st.measured_avg_items;
-  st.max_halo_items = dec.max_ghost_nodes;
-  st.comm_neighbors = dec.max_comm_degree;
   if (has_coarse) {
     st.intergrid_fraction =
         dec.max_intergrid_items / std::max<real_t>(dec.max_part_nodes, 1);
@@ -153,7 +148,8 @@ MeasuredStats Cart3dLoadModel::measure(int level, index_t nparts) {
   const cartesian::CartMesh& m = h_->levels[std::size_t(level)];
   const auto part = cartesian::partition_cells(m, nparts);
 
-  MeasuredStats st;
+  MeasuredStats st = stats_from_plan(
+      core::ExchangePlan(cart3d::halo_requests(m, part, nparts)));
   std::vector<real_t> cells_in(std::size_t(nparts), 0.0);
   for (index_t p : part) cells_in[std::size_t(p)] += 1;
   real_t max_cells = 0;
@@ -161,27 +157,6 @@ MeasuredStats Cart3dLoadModel::measure(int level, index_t nparts) {
   st.measured_avg_items =
       std::max<real_t>(real_t(m.num_cells()) / real_t(nparts), 1e-9);
   st.imbalance = max_cells / st.measured_avg_items;
-
-  std::vector<std::set<index_t>> ghosts(std::size_t(nparts),
-                                        std::set<index_t>{});
-  std::vector<std::set<index_t>> nbrs(std::size_t(nparts),
-                                      std::set<index_t>{});
-  for (const cartesian::CartFace& f : m.faces) {
-    if (f.right == kInvalidIndex) continue;
-    const index_t pl = part[std::size_t(f.left)];
-    const index_t pr = part[std::size_t(f.right)];
-    if (pl == pr) continue;
-    ghosts[std::size_t(pl)].insert(f.right);
-    ghosts[std::size_t(pr)].insert(f.left);
-    nbrs[std::size_t(pl)].insert(pr);
-    nbrs[std::size_t(pr)].insert(pl);
-  }
-  for (index_t p = 0; p < nparts; ++p) {
-    st.max_halo_items = std::max(st.max_halo_items,
-                                 real_t(ghosts[std::size_t(p)].size()));
-    st.comm_neighbors =
-        std::max(st.comm_neighbors, index_t(nbrs[std::size_t(p)].size()));
-  }
 
   if (std::size_t(level) + 1 < h_->levels.size()) {
     const auto cpart =

@@ -17,6 +17,8 @@
 
 #include "cart3d/solver.hpp"
 #include "cartesian/coarsen.hpp"
+#include "core/exchange_plan.hpp"
+#include "core/params.hpp"
 #include "nsu3d/partitioned.hpp"
 #include "perf/columbia.hpp"
 
@@ -49,6 +51,13 @@ struct MeasuredStats {
   index_t intergrid_neighbors = 0;
   real_t measured_avg_items = 1; // items per part in the measurement
 };
+
+/// Shared converter from a halo ExchangePlan to the communication fields
+/// of a MeasuredStats: busiest-partition ghost count and communication
+/// degree. Both load models feed their decomposition's plan through this,
+/// so the perf model and the schedule the solvers actually execute can
+/// never disagree about halo volume.
+MeasuredStats stats_from_plan(const core::ExchangePlan& plan);
 
 /// Load model for the NSU3D hierarchy.
 class Nsu3dLoadModel {

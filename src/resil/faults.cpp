@@ -1,5 +1,6 @@
 #include "resil/faults.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -178,6 +179,15 @@ std::vector<real_t> frame_payload(std::span<const real_t> payload) {
       crc32(payload.data(), payload.size() * sizeof(real_t))));
   frame.insert(frame.end(), payload.begin(), payload.end());
   return frame;
+}
+
+void frame_payload_into(std::span<const real_t> payload,
+                        std::vector<real_t>& frame) {
+  frame.resize(payload.size() + 2);
+  frame[0] = real_t(payload.size());
+  frame[1] =
+      real_t(crc32(payload.data(), payload.size() * sizeof(real_t)));
+  std::copy(payload.begin(), payload.end(), frame.begin() + 2);
 }
 
 bool unframe_payload(std::span<const real_t> frame,

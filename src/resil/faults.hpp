@@ -131,6 +131,13 @@ std::uint64_t site_hash(std::uint64_t seed, std::uint64_t site);
 /// Wraps a payload in a checksummed frame.
 std::vector<real_t> frame_payload(std::span<const real_t> payload);
 
+/// In-place variant of frame_payload: rewrites `frame` without allocating
+/// once its capacity covers payload.size() + 2. Persistent-buffer
+/// exchanges (core::ExchangePlan) re-frame into the same vector every
+/// attempt, so steady-state retransmits stay allocation-free.
+void frame_payload_into(std::span<const real_t> payload,
+                        std::vector<real_t>& frame);
+
 /// Validates `frame`; on success fills `payload` and returns true. False
 /// on length or checksum mismatch (payload then unspecified).
 bool unframe_payload(std::span<const real_t> frame,

@@ -20,24 +20,25 @@
 // frames and the sender retransmits, so delivered halo values are always
 // exactly the originals — exchanges are bit-identical with fault injection
 // (COLUMBIA_FAULTS halo_corrupt / halo_drop) on or off.
+// These entry points re-derive the message layouts and reallocate their
+// buffers on every call; they are the threaded reference implementation of
+// the protocol. Steady-state solver code uses core::ExchangePlan, which
+// precomputes the same layouts once and reuses persistent buffers
+// (tests/test_core.cpp pins the two implementations bit-identical).
 #pragma once
 
 #include <vector>
 
+#include "core/halo.hpp"
 #include "smp/runtime.hpp"
 
 namespace columbia::smp {
 
-/// One item a partition needs from another partition.
-struct HaloRequest {
-  index_t from_partition;
-  index_t item;  // index into the owner partition's data array
-};
-
-/// Inputs: per-partition owned data and per-partition request lists.
-/// Output: fetched values, parallel to each partition's request list.
-using PartitionData = std::vector<std::vector<real_t>>;
-using RequestLists = std::vector<std::vector<HaloRequest>>;
+/// Request vocabulary shared with core::ExchangePlan (see core/halo.hpp);
+/// aliased so existing call sites keep compiling.
+using HaloRequest = core::HaloRequest;
+using PartitionData = core::PartitionData;
+using RequestLists = core::RequestLists;
 
 /// Fig. 7(a): one rank per partition, direct thread-to-thread messages.
 PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,

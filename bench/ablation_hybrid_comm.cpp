@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   bench::banner("Ablation — Fig. 7 hybrid communication strategies",
                 "messages and payloads, thread-to-thread vs master-thread");
   bench::Reporter rep(argc, argv, "ablation_hybrid_comm");
+  rep.meta("strategy", "thread-to-thread + master-thread (plan vs legacy)");
 
   // A real decomposition of the wing mesh provides the halo pattern.
   mesh::WingMeshSpec spec;

@@ -29,6 +29,7 @@
 #include "sfc/hilbert.hpp"
 #include "sfc/morton.hpp"
 #include "smp/pool.hpp"
+#include "support/build_info.hpp"
 #include "support/random.hpp"
 
 namespace {
@@ -540,6 +541,15 @@ int run_kernels_json(const std::string& path) {
   obs::JsonWriter w(f);
   w.begin_object();
   w.kv("bench", "micro_kernels");
+  const BuildInfo& bi = build_info();
+  w.key("provenance");
+  w.begin_object();
+  w.kv("git_sha", bi.git_sha);
+  w.kv("build_type", bi.build_type);
+  w.kv("obs_compiled", bi.obs_compiled);
+  w.kv("columbia_threads", std::int64_t(smp::env_threads()));
+  w.kv("hardware_threads", std::int64_t(hardware_threads()));
+  w.end_object();
   w.kv("hardware_threads",
        std::uint64_t(std::thread::hardware_concurrency()));
   w.kv("note",

@@ -21,4 +21,8 @@ cmake --build --preset tsan -j "$JOBS"
 ctest --preset tsan -j "$JOBS"
 
 echo
+echo "== perf gate: BENCH_*.json baselines (scripts/perf_gate.sh) =="
+scripts/perf_gate.sh
+
+echo
 echo "== all checks passed =="

@@ -75,6 +75,15 @@ ExchangePlan::ExchangePlan(RequestLists requests, ExchangePlanOptions options)
   out_.resize(std::size_t(nparts_));
   for (index_t p = 0; p < nparts_; ++p)
     out_[std::size_t(p)].resize(requests_[std::size_t(p)].size());
+
+  // Plan-shape gauges: static facts about the schedule (not per-exchange
+  // traffic, which the halo.plan.* counters track). The flight recorder
+  // and columbia_report read these to contextualize comm fractions.
+  obs::gauge("halo.plan.partitions").set(std::int64_t(nparts_));
+  obs::gauge("halo.plan.messages_per_exchange")
+      .set(std::int64_t(messages_per_exchange()));
+  obs::gauge("halo.plan.payload_bytes")
+      .set(std::int64_t(payload_bytes_per_exchange()));
 }
 
 void ExchangePlan::transmit(Channel& ch, std::uint64_t seq) {

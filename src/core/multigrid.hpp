@@ -56,7 +56,8 @@ class MultigridDriver {
         span_level_(name_ + ".level"),
         span_solve_(name_ + ".solve"),
         span_guarded_(name_ + ".solve_guarded"),
-        visits_ctr_(&obs::counter(name_ + ".level_visits")) {}
+        visits_ctr_(&obs::counter(name_ + ".level_visits")),
+        cycles_ctr_(&obs::counter(name_ + ".cycles")) {}
 
   const std::string& name() const { return name_; }
 
@@ -66,6 +67,7 @@ class MultigridDriver {
   /// draws a fresh injection decision instead of re-faulting.
   real_t run_cycle(Physics& phys) {
     OBS_SPAN(span_cycle_.c_str());
+    cycles_ctr_->add(1);
     mg_cycle(phys, 0);
     resil::FaultInjector& inj = resil::FaultInjector::global();
     if (inj.armed()) {
@@ -83,6 +85,10 @@ class MultigridDriver {
   /// first). Emits one obs::CycleRecord per cycle while convergence
   /// telemetry is active.
   std::vector<real_t> solve(Physics& phys, int max_cycles, real_t orders) {
+    // COLUMBIA_REPORT flight recorder: prints/appends the phase profile of
+    // this solve's window on scope exit. Purely observational — histories
+    // stay bit-identical with reporting on or off (test_obs_determinism).
+    obs::SolveReportScope report(name_);
     OBS_SPAN(span_solve_.c_str());
     std::vector<real_t> history{phys.residual_norm()};
     const real_t target = history[0] * std::pow(10.0, -orders);
@@ -118,6 +124,7 @@ class MultigridDriver {
   resil::GuardedSolveResult solve_guarded(
       Physics& phys, int max_cycles, real_t orders,
       const resil::GuardedSolveOptions& options) {
+    obs::SolveReportScope report(name_);
     OBS_SPAN(span_guarded_.c_str());
     resil::GuardCallbacks cb;
     cb.solver = name_;
@@ -162,6 +169,7 @@ class MultigridDriver {
   std::string name_;
   std::string span_cycle_, span_level_, span_solve_, span_guarded_;
   obs::Counter* visits_ctr_;
+  obs::Counter* cycles_ctr_;
 
   /// Exclusive per-level seconds for the current cycle; sized only while
   /// convergence telemetry is active (obs JSONL sink open), else empty.

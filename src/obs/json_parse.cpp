@@ -1,0 +1,360 @@
+#include "obs/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace columbia::obs {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::number_or(const std::string& key, double dflt) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->number() : dflt;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& dflt) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->str() : dflt;
+}
+
+JsonValue JsonValue::null() { return {}; }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.boolean_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  bool run(JsonValue& out, std::string* error) {
+    skip_ws();
+    if (!value(out)) return fail(error);
+    skip_ws();
+    if (p_ != s_.size()) {
+      err_ = "trailing characters after value";
+      return fail(error);
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string* error) {
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << "offset " << p_ << ": " << (err_.empty() ? "parse error" : err_);
+      *error = os.str();
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (p_ < s_.size() && (s_[p_] == ' ' || s_[p_] == '\t' ||
+                              s_[p_] == '\n' || s_[p_] == '\r'))
+      ++p_;
+  }
+
+  char peek() const { return p_ < s_.size() ? s_[p_] : '\0'; }
+
+  bool value(JsonValue& out) {
+    switch (peek()) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': {
+        std::string s;
+        if (!string(s)) return false;
+        out = JsonValue::string(std::move(s));
+        return true;
+      }
+      case 't': return literal("true", JsonValue::boolean(true), out);
+      case 'f': return literal("false", JsonValue::boolean(false), out);
+      case 'n': return literal("null", JsonValue::null(), out);
+      default: return number(out);
+    }
+  }
+
+  bool literal(const char* word, JsonValue v, JsonValue& out) {
+    for (const char* c = word; *c != '\0'; ++c, ++p_) {
+      if (peek() != *c) {
+        err_ = std::string("expected '") + word + "'";
+        return false;
+      }
+    }
+    out = std::move(v);
+    return true;
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = p_;
+    if (peek() == '-') ++p_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      err_ = "expected value";
+      p_ = start;
+      return false;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++p_;
+    if (peek() == '.') {
+      ++p_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        err_ = "expected digit after '.'";
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++p_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++p_;
+      if (peek() == '+' || peek() == '-') ++p_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        err_ = "expected exponent digit";
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++p_;
+    }
+    out = JsonValue::number(std::strtod(s_.c_str() + start, nullptr));
+    return true;
+  }
+
+  void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += char(cp);
+    } else if (cp < 0x800) {
+      s += char(0xC0 | (cp >> 6));
+      s += char(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += char(0xE0 | (cp >> 12));
+      s += char(0x80 | ((cp >> 6) & 0x3F));
+      s += char(0x80 | (cp & 0x3F));
+    } else {
+      s += char(0xF0 | (cp >> 18));
+      s += char(0x80 | ((cp >> 12) & 0x3F));
+      s += char(0x80 | ((cp >> 6) & 0x3F));
+      s += char(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(unsigned& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      unsigned d = 0;
+      if (c >= '0' && c <= '9') d = unsigned(c - '0');
+      else if (c >= 'a' && c <= 'f') d = unsigned(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') d = unsigned(c - 'A' + 10);
+      else {
+        err_ = "bad \\u escape";
+        return false;
+      }
+      out = out * 16 + d;
+      ++p_;
+    }
+    return true;
+  }
+
+  bool string(std::string& out) {
+    ++p_;  // opening quote
+    out.clear();
+    while (true) {
+      if (p_ >= s_.size()) {
+        err_ = "unterminated string";
+        return false;
+      }
+      const unsigned char c = static_cast<unsigned char>(s_[p_]);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c < 0x20) {
+        err_ = "unescaped control character in string";
+        return false;
+      }
+      if (c != '\\') {
+        out += char(c);
+        ++p_;
+        continue;
+      }
+      ++p_;  // backslash
+      switch (peek()) {
+        case '"': out += '"'; ++p_; break;
+        case '\\': out += '\\'; ++p_; break;
+        case '/': out += '/'; ++p_; break;
+        case 'b': out += '\b'; ++p_; break;
+        case 'f': out += '\f'; ++p_; break;
+        case 'n': out += '\n'; ++p_; break;
+        case 'r': out += '\r'; ++p_; break;
+        case 't': out += '\t'; ++p_; break;
+        case 'u': {
+          ++p_;
+          unsigned cp = 0;
+          if (!hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF && peek() == '\\') {
+            // High surrogate: pair with the following \uDC00-\uDFFF.
+            const std::size_t save = p_;
+            ++p_;
+            unsigned lo = 0;
+            if (peek() == 'u' && (++p_, hex4(lo)) && lo >= 0xDC00 &&
+                lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              p_ = save;  // lone surrogate: emit as-is
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          err_ = "bad escape character";
+          return false;
+      }
+    }
+  }
+
+  bool array(JsonValue& out) {
+    ++p_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++p_;
+      out = JsonValue::array(std::move(items));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      items.push_back(std::move(v));
+      skip_ws();
+      if (peek() == ',') {
+        ++p_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++p_;
+        out = JsonValue::array(std::move(items));
+        return true;
+      }
+      err_ = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  bool object(JsonValue& out) {
+    ++p_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++p_;
+      out = JsonValue::object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') {
+        err_ = "expected object key";
+        return false;
+      }
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (peek() != ':') {
+        err_ = "expected ':'";
+        return false;
+      }
+      ++p_;
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (peek() == ',') {
+        ++p_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++p_;
+        out = JsonValue::object(std::move(members));
+        return true;
+      }
+      err_ = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t p_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue& out, std::string* error) {
+  return Parser(text).run(out, error);
+}
+
+std::vector<JsonValue> parse_jsonl(const std::string& text,
+                                   std::string* error) {
+  std::vector<JsonValue> out;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    bool blank = true;
+    for (char c : line)
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    if (blank) continue;
+    JsonValue v;
+    std::string err;
+    if (!parse_json(line, v, &err)) {
+      if (error != nullptr) {
+        std::ostringstream os;
+        os << "line " << lineno << ": " << err;
+        *error = os.str();
+      }
+      break;  // truncated-tail tolerance: keep what parsed
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace columbia::obs

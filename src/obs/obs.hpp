@@ -10,6 +10,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 

@@ -1,0 +1,390 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "support/timer.hpp"
+
+namespace columbia::obs {
+
+bool is_comm_phase(const std::string& name) {
+  return name.rfind("halo.", 0) == 0;
+}
+
+namespace {
+
+struct Key {
+  std::string phase;
+  std::int64_t level;
+  bool operator<(const Key& o) const {
+    if (phase != o.phase) return phase < o.phase;
+    return level < o.level;
+  }
+};
+
+struct Accum {
+  std::vector<double> instances_s;     // exclusive seconds per span instance
+  std::map<int, double> thread_s;      // exclusive seconds per tid
+};
+
+double imbalance_of(const std::map<int, double>& thread_s) {
+  if (thread_s.size() < 2) return 1.0;
+  double sum = 0, mx = 0;
+  for (const auto& [tid, s] : thread_s) {
+    sum += s;
+    mx = std::max(mx, s);
+  }
+  const double mean = sum / double(thread_s.size());
+  return mean > 0 ? mx / mean : 1.0;
+}
+
+double p95_of(std::vector<double>& v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx =
+      std::size_t(std::ceil(0.95 * double(v.size()))) - 1;
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+PhaseProfile build_profile(const std::vector<PhaseEvent>& events) {
+  PhaseProfile out;
+
+  // Regroup per thread, preserving each thread's recording order (both
+  // producers append per-thread in order even when tids interleave).
+  std::map<int, std::vector<const PhaseEvent*>> per_tid;
+  for (const PhaseEvent& e : events) per_tid[e.tid].push_back(&e);
+
+  struct Frame {
+    const std::string* name;
+    std::int64_t level;
+    double start_us;
+    double child_us = 0;  // inclusive time of completed children
+  };
+
+  std::map<Key, Accum> accum;
+  std::map<int, double> comm_thread_s;
+  std::map<std::int64_t, Accum> level_accum;
+
+  for (const auto& [tid, evs] : per_tid) {
+    if (evs.empty()) continue;
+    out.wall_s =
+        std::max(out.wall_s, (evs.back()->ts_us - evs.front()->ts_us) / 1e6);
+    std::vector<Frame> stack;
+    for (const PhaseEvent* e : evs) {
+      if (e->phase == 'B') {
+        stack.push_back({&e->name, e->level, e->ts_us});
+        continue;
+      }
+      if (e->phase != 'E') continue;
+      // Unmatched ends (window cut mid-span, or a begin recorded before
+      // the window opened) are dropped rather than guessed at.
+      if (stack.empty() || *stack.back().name != e->name) continue;
+      const Frame f = stack.back();
+      stack.pop_back();
+      const double incl_us = e->ts_us - f.start_us;
+      const double excl_s =
+          std::max(0.0, (incl_us - f.child_us)) / 1e6;
+      if (!stack.empty()) stack.back().child_us += incl_us;
+      Accum& a = accum[{*f.name, f.level}];
+      a.instances_s.push_back(excl_s);
+      a.thread_s[tid] += excl_s;
+      out.busy_s += excl_s;
+      if (is_comm_phase(*f.name)) {
+        out.comm_s += excl_s;
+        comm_thread_s[tid] += excl_s;
+      }
+      if (f.level >= 0) {
+        Accum& la = level_accum[f.level];
+        la.instances_s.push_back(excl_s);
+        la.thread_s[tid] += excl_s;
+      }
+    }
+  }
+
+  for (auto& [key, a] : accum) {
+    PhaseStats s;
+    s.phase = key.phase;
+    s.level = key.level;
+    s.calls = a.instances_s.size();
+    s.threads = int(a.thread_s.size());
+    double mn = a.instances_s.empty() ? 0 : a.instances_s.front(), mx = 0;
+    for (double x : a.instances_s) {
+      s.total_s += x;
+      mn = std::min(mn, x);
+      mx = std::max(mx, x);
+    }
+    s.min_s = mn;
+    s.max_s = mx;
+    s.mean_s = s.calls > 0 ? s.total_s / double(s.calls) : 0;
+    s.p95_s = p95_of(a.instances_s);
+    s.imbalance = imbalance_of(a.thread_s);
+    out.phases.push_back(std::move(s));
+  }
+  std::sort(out.phases.begin(), out.phases.end(),
+            [](const PhaseStats& a, const PhaseStats& b) {
+              if (a.total_s != b.total_s) return a.total_s > b.total_s;
+              if (a.phase != b.phase) return a.phase < b.phase;
+              return a.level < b.level;
+            });
+
+  for (auto& [level, a] : level_accum) {
+    LevelStats ls;
+    ls.level = level;
+    ls.calls = a.instances_s.size();
+    for (double x : a.instances_s) ls.total_s += x;
+    ls.imbalance = imbalance_of(a.thread_s);
+    out.levels.push_back(ls);
+  }
+
+  for (const auto& [tid, s] : comm_thread_s) out.comm_per_thread.push_back(s);
+  out.comm_fraction = out.busy_s > 0 ? out.comm_s / out.busy_s : 0;
+  return out;
+}
+
+namespace {
+
+struct CommTotals {
+  std::uint64_t exchanges = 0, messages = 0, bytes = 0, retransmits = 0;
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Sums the registry's halo transport counters without creating entries.
+CommTotals comm_counter_totals() {
+  CommTotals t;
+  for (const std::string& name : counter_names()) {
+    const std::uint64_t v = counter(name).value();
+    if (name == "resil.halo.retransmits") {
+      t.retransmits += v;
+    } else if (name.rfind("halo.", 0) == 0) {
+      if (ends_with(name, ".exchanges")) t.exchanges += v;
+      if (ends_with(name, ".messages")) t.messages += v;
+      if (ends_with(name, ".bytes")) t.bytes += v;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+PhaseProfile current_profile(std::uint64_t min_ts_ns) {
+  const std::vector<TraceEvent> snap = trace_snapshot();
+  std::uint64_t epoch = ~std::uint64_t(0);
+  for (const TraceEvent& e : snap)
+    if (e.ts_ns >= min_ts_ns) epoch = std::min(epoch, e.ts_ns);
+  std::vector<PhaseEvent> events;
+  events.reserve(snap.size());
+  for (const TraceEvent& e : snap) {
+    if (e.ts_ns < min_ts_ns || e.name == nullptr) continue;
+    PhaseEvent pe;
+    pe.name = e.name;
+    pe.phase = e.phase;
+    pe.ts_us = double(e.ts_ns - epoch) / 1e3;
+    pe.tid = int(e.tid);
+    if (e.phase == 'B' && e.arg_name != nullptr &&
+        std::string(e.arg_name) == "level")
+      pe.level = e.arg_value;
+    events.push_back(std::move(pe));
+  }
+  PhaseProfile p = build_profile(events);
+  const CommTotals t = comm_counter_totals();
+  p.comm_exchanges = t.exchanges;
+  p.comm_messages = t.messages;
+  p.comm_bytes = t.bytes;
+  p.comm_retransmits = t.retransmits;
+  return p;
+}
+
+Table profile_table(const PhaseProfile& p) {
+  Table t({"phase", "level", "calls", "threads", "total s", "min ms",
+           "mean ms", "p95 ms", "max ms", "imbalance"});
+  for (const PhaseStats& s : p.phases) {
+    t.add_row({s.phase, s.level >= 0 ? std::to_string(s.level) : "-",
+               std::to_string(s.calls), std::to_string(s.threads),
+               Table::num(s.total_s, 4), Table::num(s.min_s * 1e3, 3),
+               Table::num(s.mean_s * 1e3, 3), Table::num(s.p95_s * 1e3, 3),
+               Table::num(s.max_s * 1e3, 3), Table::num(s.imbalance, 2)});
+  }
+  return t;
+}
+
+Table level_table(const PhaseProfile& p) {
+  Table t({"level", "calls", "excl s", "share", "imbalance"});
+  double sum = 0;
+  for (const LevelStats& l : p.levels) sum += l.total_s;
+  for (const LevelStats& l : p.levels) {
+    t.add_row({std::to_string(l.level), std::to_string(l.calls),
+               Table::num(l.total_s, 4),
+               Table::num(sum > 0 ? l.total_s / sum : 0, 3),
+               Table::num(l.imbalance, 2)});
+  }
+  return t;
+}
+
+Table summary_table(const PhaseProfile& p) {
+  Table t({"metric", "value"});
+  t.add_row({"wall s", Table::num(p.wall_s, 4)});
+  t.add_row({"busy s (sum of exclusive)", Table::num(p.busy_s, 4)});
+  t.add_row({"comm s", Table::num(p.comm_s, 4)});
+  t.add_row({"comm fraction", Table::num(p.comm_fraction, 3)});
+  double crit = 0;
+  for (double s : p.comm_per_thread) crit = std::max(crit, s);
+  t.add_row({"halo critical path s (busiest thread)", Table::num(crit, 4)});
+  t.add_row({"halo exchanges", std::to_string(p.comm_exchanges)});
+  t.add_row({"halo messages", std::to_string(p.comm_messages)});
+  t.add_row({"halo MB", Table::num(double(p.comm_bytes) / 1e6, 3)});
+  t.add_row({"halo retransmits", std::to_string(p.comm_retransmits)});
+  return t;
+}
+
+void write_profile_json(std::ostream& os, const std::string& name,
+                        const PhaseProfile& p) {
+  JsonWriter w(os);
+  write_profile_json_into(w, name, p);
+}
+
+void write_profile_json_into(JsonWriter& w, const std::string& name,
+                             const PhaseProfile& p) {
+  w.begin_object();
+  w.kv("solver", name);
+  w.kv("wall_s", p.wall_s);
+  w.kv("busy_s", p.busy_s);
+  w.key("comm").begin_object();
+  w.kv("seconds", p.comm_s);
+  w.kv("fraction", p.comm_fraction);
+  double crit = 0;
+  for (double s : p.comm_per_thread) crit = std::max(crit, s);
+  w.kv("critical_path_s", crit);
+  w.key("per_thread_s").begin_array();
+  for (double s : p.comm_per_thread) w.value(s);
+  w.end_array();
+  w.kv("exchanges", p.comm_exchanges);
+  w.kv("messages", p.comm_messages);
+  w.kv("bytes", p.comm_bytes);
+  w.kv("retransmits", p.comm_retransmits);
+  w.end_object();
+  w.key("levels").begin_array();
+  for (const LevelStats& l : p.levels) {
+    w.begin_object();
+    w.kv("level", l.level);
+    w.kv("calls", l.calls);
+    w.kv("seconds", l.total_s);
+    w.kv("imbalance", l.imbalance);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("phases").begin_array();
+  for (const PhaseStats& s : p.phases) {
+    w.begin_object();
+    w.kv("phase", s.phase);
+    w.kv("level", s.level);
+    w.kv("calls", s.calls);
+    w.kv("threads", s.threads);
+    w.kv("total_s", s.total_s);
+    w.kv("min_s", s.min_s);
+    w.kv("mean_s", s.mean_s);
+    w.kv("p95_s", s.p95_s);
+    w.kv("max_s", s.max_s);
+    w.kv("imbalance", s.imbalance);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+// --- COLUMBIA_REPORT switch ----------------------------------------------
+
+namespace {
+
+struct ReportConfig {
+  bool on = false;
+  std::string path;
+};
+
+ReportConfig& report_config() {
+  static ReportConfig* cfg = [] {
+    auto* c = new ReportConfig;  // outlives static dtors
+    const char* env = std::getenv("COLUMBIA_REPORT");
+    if (env != nullptr && *env != '\0' && std::string(env) != "0") {
+      c->on = true;
+      if (std::string(env) != "1") c->path = env;
+    }
+    return c;
+  }();
+  return *cfg;
+}
+
+/// Serializes concurrent end-of-solve reports (database sweeps run cases
+/// on worker threads): whole-summary prints and whole-line appends.
+std::mutex& report_mu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+bool report_enabled() { return report_config().on; }
+
+const std::string& report_path() { return report_config().path; }
+
+void set_report(bool on, const std::string& path) {
+  report_config().on = on;
+  report_config().path = path;
+}
+
+SolveReportScope::SolveReportScope(std::string name)
+    : name_(std::move(name)) {
+  if (!kCompiledIn || !report_enabled()) return;
+  active_ = true;
+  was_enabled_ = enabled();
+  set_enabled(true);
+  t0_ns_ = WallTimer::now_ns();
+  const CommTotals t0 = comm_counter_totals();
+  c0_exchanges_ = t0.exchanges;
+  c0_messages_ = t0.messages;
+  c0_bytes_ = t0.bytes;
+  c0_retransmits_ = t0.retransmits;
+}
+
+SolveReportScope::~SolveReportScope() {
+  if (!active_) return;
+  PhaseProfile p = current_profile(t0_ns_);
+  set_enabled(was_enabled_);
+  p.comm_exchanges -= std::min(p.comm_exchanges, c0_exchanges_);
+  p.comm_messages -= std::min(p.comm_messages, c0_messages_);
+  p.comm_bytes -= std::min(p.comm_bytes, c0_bytes_);
+  p.comm_retransmits -= std::min(p.comm_retransmits, c0_retransmits_);
+
+  std::lock_guard<std::mutex> lock(report_mu());
+  std::cerr << "== columbia report: " << name_ << " ==\n"
+            << summary_table(p).to_string();
+  const Table lt = level_table(p);
+  if (!lt.rows().empty()) std::cerr << lt.to_string();
+  std::cerr << profile_table(p).to_string();
+
+  if (!report_path().empty()) {
+    std::ofstream os(report_path(), std::ios::app);
+    if (os) {
+      write_profile_json(os, name_, p);
+      os << '\n';
+    } else {
+      std::cerr << "columbia report: cannot append to " << report_path()
+                << '\n';
+    }
+  }
+}
+
+}  // namespace columbia::obs

@@ -1,0 +1,465 @@
+#include "obs/report_cli.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json_parse.hpp"
+#include "obs/report.hpp"
+#include "support/build_info.hpp"
+#include "support/table.hpp"
+
+namespace columbia::obs::report {
+
+namespace {
+
+constexpr const char* kUsageText =
+    "usage: columbia_report [options] FILE...\n"
+    "\n"
+    "  FILE               Chrome trace JSON (--trace / write_chrome_trace),\n"
+    "                     convergence JSONL (--jsonl / open_jsonl), or a\n"
+    "                     bench --json report (classified by content)\n"
+    "  --baseline PATH    perf gate: compare the bench-report FILE against\n"
+    "                     the committed baseline at PATH\n"
+    "  --tolerance T      allowed timing slowdown for the gate: '10%', or\n"
+    "                     a fraction like 0.1 (default 10%)\n"
+    "\n"
+    "Traces: one file prints its phase profile (exclusive per-phase and\n"
+    "per-level times, imbalance factors, communication fraction and halo\n"
+    "critical-path estimate); several files form a scaling series with a\n"
+    "Fig. 15-style speedup / parallel-efficiency table.\n";
+
+struct Options {
+  std::vector<std::string> files;
+  std::string baseline;
+  double tolerance = 0.10;
+  bool tolerance_set = false;
+};
+
+bool parse_tolerance(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  std::string body = s;
+  bool percent = false;
+  if (body.back() == '%') {
+    percent = true;
+    body.pop_back();
+  }
+  char* end = nullptr;
+  const double v = std::strtod(body.c_str(), &end);
+  if (end != body.c_str() + body.size() || v < 0) return false;
+  // Bare numbers < 1 read as fractions ("0.1"), >= 1 as percent ("25").
+  out = percent ? v / 100.0 : (v < 1.0 ? v : v / 100.0);
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out, std::ostream& err) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    err << "columbia_report: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// --- trace ingest ---------------------------------------------------------
+
+struct TraceRun {
+  std::string path;
+  std::int64_t threads = 0;  // from "columbia" metadata, else max tid + 1
+  std::string git_sha;
+  PhaseProfile profile;
+};
+
+bool ingest_trace(const std::string& path, const JsonValue& doc,
+                  TraceRun& run, std::ostream& err) {
+  const JsonValue* evs = doc.find("traceEvents");
+  if (evs == nullptr || !evs->is_array()) {
+    err << "columbia_report: " << path << ": no traceEvents array\n";
+    return false;
+  }
+  std::vector<PhaseEvent> events;
+  events.reserve(evs->items().size());
+  std::int64_t max_tid = 0;
+  for (const JsonValue& e : evs->items()) {
+    if (!e.is_object()) continue;
+    const std::string ph = e.string_or("ph", "");
+    if (ph != "B" && ph != "E") continue;  // ignore metadata/counter events
+    PhaseEvent pe;
+    pe.name = e.string_or("name", "");
+    pe.phase = ph[0];
+    pe.ts_us = e.number_or("ts", 0);
+    pe.tid = int(e.number_or("tid", 0));
+    max_tid = std::max(max_tid, std::int64_t(pe.tid));
+    if (const JsonValue* args = e.find("args");
+        args != nullptr && args->is_object())
+      pe.level = std::int64_t(args->number_or("level", -1));
+    events.push_back(std::move(pe));
+  }
+  run.path = path;
+  run.profile = build_profile(events);
+  if (const JsonValue* meta = doc.find("columbia");
+      meta != nullptr && meta->is_object()) {
+    run.threads = std::int64_t(meta->number_or("threads", 0));
+    run.git_sha = meta->string_or("git_sha", "");
+  }
+  if (run.threads <= 0) run.threads = max_tid + 1;
+  return true;
+}
+
+void print_single_run(const TraceRun& run, std::ostream& out) {
+  out << "== trace: " << run.path << " (threads=" << run.threads;
+  if (!run.git_sha.empty()) out << ", git " << run.git_sha;
+  out << ") ==\n";
+  out << summary_table(run.profile).to_string();
+  const Table lt = level_table(run.profile);
+  if (!lt.rows().empty()) {
+    out << "-- per-level rollup --\n";
+    out << lt.to_string();
+  }
+  out << "-- phase profile --\n";
+  out << profile_table(run.profile).to_string();
+}
+
+void print_scaling_table(std::vector<TraceRun>& runs, std::ostream& out) {
+  std::sort(runs.begin(), runs.end(),
+            [](const TraceRun& a, const TraceRun& b) {
+              return a.threads < b.threads;
+            });
+  const TraceRun& base = runs.front();
+  out << "== scaling series (reference: " << base.path << ", threads="
+      << base.threads << ") ==\n";
+  Table t({"threads", "wall s", "speedup", "ideal", "efficiency",
+           "comm frac", "trace"});
+  for (const TraceRun& r : runs) {
+    const double speedup =
+        r.profile.wall_s > 0 ? base.profile.wall_s / r.profile.wall_s : 0;
+    const double ideal = double(r.threads) / double(base.threads);
+    t.add_row({std::to_string(r.threads), Table::num(r.profile.wall_s, 4),
+               Table::num(speedup, 3), Table::num(ideal, 3),
+               Table::num(ideal > 0 ? speedup / ideal : 0, 3),
+               Table::num(r.profile.comm_fraction, 3), r.path});
+  }
+  out << t.to_string();
+}
+
+// --- convergence JSONL ingest --------------------------------------------
+
+void print_convergence(const std::string& path,
+                       const std::vector<JsonValue>& records,
+                       std::ostream& out) {
+  out << "== convergence: " << path << " (" << records.size()
+      << " cycles) ==\n";
+  if (records.empty()) return;
+  const double r0 = records.front().number_or("residual", 0);
+  const double rn = records.back().number_or("residual", 0);
+  Table s({"metric", "value"});
+  s.add_row({"solver", records.front().string_or("solver", "?")});
+  s.add_row({"cycles", std::to_string(records.size())});
+  s.add_row({"first residual", Table::num(r0, 4)});
+  s.add_row({"last residual", Table::num(rn, 4)});
+  s.add_row({"orders dropped",
+             Table::num(r0 > 0 && rn > 0 ? std::log10(r0 / rn) : 0, 3)});
+  out << s.to_string();
+
+  // Mean exclusive seconds per level per cycle, over all cycles.
+  std::map<std::int64_t, double> level_s;
+  for (const JsonValue& rec : records) {
+    const JsonValue* levels = rec.find("levels");
+    if (levels == nullptr || !levels->is_array()) continue;
+    for (const JsonValue& l : levels->items())
+      level_s[std::int64_t(l.number_or("level", -1))] +=
+          l.number_or("seconds", 0);
+  }
+  if (level_s.empty()) return;
+  double sum = 0;
+  for (const auto& [lvl, sec] : level_s) sum += sec;
+  out << "-- per-level rollup (exclusive, all cycles) --\n";
+  Table t({"level", "total s", "s/cycle", "share"});
+  for (const auto& [lvl, sec] : level_s) {
+    t.add_row({std::to_string(lvl), Table::num(sec, 4),
+               Table::num(sec / double(records.size()), 4),
+               Table::num(sum > 0 ? sec / sum : 0, 3)});
+  }
+  out << t.to_string();
+}
+
+// --- perf-regression gate -------------------------------------------------
+
+struct GateResult {
+  Table table{{"series", "key", "metric", "baseline", "current", "delta",
+               "verdict"}};
+  int regressions = 0;
+  int compared = 0;
+  int skipped = 0;
+};
+
+std::string pct(double baseline, double current) {
+  if (baseline == 0) return "n/a";
+  return Table::num(100.0 * (current - baseline) / baseline, 1) + "%";
+}
+
+enum class MetricKind { Timing, Count, Exact };
+
+/// How the gate treats a numeric field, by column/field name. Unknown
+/// fields are informational only.
+bool metric_kind_of(const std::string& name, MetricKind& kind) {
+  if (name == "ns_per_edge" || name == "exchange (us)") {
+    kind = MetricKind::Timing;
+    return true;
+  }
+  if (name == "allocs/exchange") {
+    kind = MetricKind::Count;
+    return true;
+  }
+  if (name == "messages" || name == "ranks" || name == "total MB" ||
+      name == "mean msg (KB)") {
+    kind = MetricKind::Exact;
+    return true;
+  }
+  return false;
+}
+
+void compare_metric(GateResult& g, const std::string& series,
+                    const std::string& key, const std::string& metric,
+                    MetricKind kind, double base, double cur, double tol,
+                    const std::string& skip_reason) {
+  const std::string b = Table::num(base, 4), c = Table::num(cur, 4);
+  if (!skip_reason.empty()) {
+    ++g.skipped;
+    g.table.add_row(
+        {series, key, metric, b, c, pct(base, cur), "skipped: " + skip_reason});
+    return;
+  }
+  ++g.compared;
+  std::string verdict = "ok";
+  switch (kind) {
+    case MetricKind::Timing:
+      if (cur > base * (1.0 + tol)) {
+        verdict = "REGRESSION";
+        ++g.regressions;
+      } else if (base > cur * (1.0 + tol)) {
+        verdict = "improved";
+      }
+      break;
+    case MetricKind::Count:
+      if (cur > base) {
+        verdict = "REGRESSION";
+        ++g.regressions;
+      } else if (cur < base) {
+        verdict = "improved";
+      }
+      break;
+    case MetricKind::Exact:
+      // Cells round-trip through %.4g table formatting: allow 0.5%.
+      if (std::abs(cur - base) > 0.005 * std::max(std::abs(base), 1e-12)) {
+        verdict = "REGRESSION (value changed)";
+        ++g.regressions;
+      }
+      break;
+  }
+  g.table.add_row({series, key, metric, b, c, pct(base, cur), verdict});
+}
+
+/// micro_kernels schema: {"bench":"micro_kernels","hardware_threads":N,
+/// "kernels":[{"kernel","threads","ns_per_edge",...}]}.
+void gate_micro_kernels(GateResult& g, const JsonValue& baseline,
+                        const JsonValue& current, double tol) {
+  const JsonValue* cur_rows = current.find("kernels");
+  const JsonValue* base_rows = baseline.find("kernels");
+  if (cur_rows == nullptr || base_rows == nullptr) return;
+  const auto hw =
+      std::int64_t(current.number_or("hardware_threads",
+                                     double(hardware_threads())));
+  auto key_of = [](const JsonValue& row) {
+    return row.string_or("kernel", "?") + " t=" +
+           std::to_string(std::int64_t(row.number_or("threads", 1)));
+  };
+  for (const JsonValue& brow : base_rows->items()) {
+    const JsonValue* crow = nullptr;
+    for (const JsonValue& c : cur_rows->items())
+      if (key_of(c) == key_of(brow)) crow = &c;
+    const std::string key = key_of(brow);
+    if (crow == nullptr) {
+      ++g.regressions;
+      g.table.add_row({"kernels", key, "ns_per_edge",
+                       Table::num(brow.number_or("ns_per_edge", 0), 4), "-",
+                       "n/a", "REGRESSION (row missing)"});
+      continue;
+    }
+    const auto threads = std::int64_t(brow.number_or("threads", 1));
+    std::string skip;
+    if (threads > hw) {
+      // ROADMAP: a single-hardware-thread host cannot measure the sweep;
+      // the multi-thread rows only time pool oversubscription there.
+      skip = hw == 1 ? "single hardware thread"
+                     : "host has only " + std::to_string(hw) +
+                           " hardware threads";
+    }
+    compare_metric(g, "kernels", key, "ns_per_edge", MetricKind::Timing,
+                   brow.number_or("ns_per_edge", 0),
+                   crow->number_or("ns_per_edge", 0), tol, skip);
+  }
+}
+
+/// bench::Reporter schema: {"bench","meta",...,"tables":{series:[rows]}}.
+/// Rows are matched within a series by the value of their first member
+/// (e.g. "strategy", "schedule").
+void gate_reporter_tables(GateResult& g, const JsonValue& baseline,
+                          const JsonValue& current, double tol) {
+  const JsonValue* base_tables = baseline.find("tables");
+  const JsonValue* cur_tables = current.find("tables");
+  if (base_tables == nullptr || cur_tables == nullptr) return;
+  for (const auto& [series, brows] : base_tables->members()) {
+    const JsonValue* crows = cur_tables->find(series);
+    if (crows == nullptr || !crows->is_array() || !brows.is_array()) continue;
+    auto key_of = [](const JsonValue& row) -> std::string {
+      if (!row.is_object() || row.members().empty()) return "?";
+      const JsonValue& v = row.members().front().second;
+      return v.is_string() ? v.str() : Table::num(v.number(), 6);
+    };
+    for (const JsonValue& brow : brows.items()) {
+      const JsonValue* crow = nullptr;
+      for (const JsonValue& c : crows->items())
+        if (key_of(c) == key_of(brow)) crow = &c;
+      const std::string key = key_of(brow);
+      if (crow == nullptr) {
+        ++g.regressions;
+        g.table.add_row({series, key, "-", "-", "-", "n/a",
+                         "REGRESSION (row missing)"});
+        continue;
+      }
+      for (const auto& [field, bval] : brow.members()) {
+        MetricKind kind;
+        if (!bval.is_number() || !metric_kind_of(field, kind)) continue;
+        const JsonValue* cval = crow->find(field);
+        if (cval == nullptr || !cval->is_number()) continue;
+        compare_metric(g, series, key, field, kind, bval.number(),
+                       cval->number(), tol, "");
+      }
+    }
+  }
+}
+
+int run_gate(const Options& opt, const JsonValue& current,
+             std::ostream& out, std::ostream& err) {
+  std::string base_text;
+  if (!read_file(opt.baseline, base_text, err)) return kUsage;
+  JsonValue baseline;
+  std::string jerr;
+  if (!parse_json(base_text, baseline, &jerr)) {
+    err << "columbia_report: " << opt.baseline << ": " << jerr << "\n";
+    return kUsage;
+  }
+  const std::string bname = baseline.string_or("bench", "");
+  if (bname != current.string_or("bench", "")) {
+    err << "columbia_report: baseline is '" << bname << "' but current is '"
+        << current.string_or("bench", "") << "'\n";
+    return kUsage;
+  }
+  GateResult g;
+  if (bname == "micro_kernels")
+    gate_micro_kernels(g, baseline, current, opt.tolerance);
+  else
+    gate_reporter_tables(g, baseline, current, opt.tolerance);
+
+  out << "== perf gate: " << bname << " vs " << opt.baseline
+      << " (tolerance " << Table::num(opt.tolerance * 100, 3) << "%) ==\n";
+  out << g.table.to_string();
+  out << g.compared << " compared, " << g.skipped << " skipped, "
+      << g.regressions << " regression" << (g.regressions == 1 ? "" : "s")
+      << "\n";
+  if (g.compared == 0 && g.regressions == 0) {
+    err << "columbia_report: warning: nothing compared (schema mismatch?)\n";
+  }
+  return g.regressions > 0 ? kRegression : kOk;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  Options opt;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      out << kUsageText;
+      return kOk;
+    }
+    if (a == "--baseline") {
+      if (i + 1 >= args.size()) {
+        err << "columbia_report: --baseline needs a path\n";
+        return kUsage;
+      }
+      opt.baseline = args[++i];
+      continue;
+    }
+    if (a == "--tolerance") {
+      if (i + 1 >= args.size() ||
+          !parse_tolerance(args[i + 1], opt.tolerance)) {
+        err << "columbia_report: bad --tolerance (want '10%' or 0.1)\n";
+        return kUsage;
+      }
+      opt.tolerance_set = true;
+      ++i;
+      continue;
+    }
+    if (!a.empty() && a[0] == '-') {
+      err << "columbia_report: unknown option " << a << "\n" << kUsageText;
+      return kUsage;
+    }
+    opt.files.push_back(a);
+  }
+  if (opt.files.empty()) {
+    err << kUsageText;
+    return kUsage;
+  }
+
+  std::vector<TraceRun> traces;
+  for (const std::string& path : opt.files) {
+    std::string text;
+    if (!read_file(path, text, err)) return kUsage;
+    JsonValue doc;
+    if (parse_json(text, doc)) {
+      if (doc.find("traceEvents") != nullptr) {
+        TraceRun run;
+        if (!ingest_trace(path, doc, run, err)) return kUsage;
+        traces.push_back(std::move(run));
+        continue;
+      }
+      if (doc.find("bench") != nullptr) {
+        if (opt.baseline.empty()) {
+          err << "columbia_report: " << path
+              << " is a bench report; pass --baseline PATH to gate it\n";
+          return kUsage;
+        }
+        return run_gate(opt, doc, out, err);
+      }
+      err << "columbia_report: " << path
+          << ": unrecognized JSON document (no traceEvents/bench)\n";
+      return kUsage;
+    }
+    // Not a single JSON value: try JSONL convergence records.
+    std::string jerr;
+    const std::vector<JsonValue> records = parse_jsonl(text, &jerr);
+    if (!records.empty() && records.front().find("cycle") != nullptr) {
+      print_convergence(path, records, out);
+      continue;
+    }
+    err << "columbia_report: " << path << ": cannot parse ("
+        << (jerr.empty() ? "empty document" : jerr) << ")\n";
+    return kUsage;
+  }
+
+  for (const TraceRun& run : traces) print_single_run(run, out);
+  if (traces.size() > 1) print_scaling_table(traces, out);
+  return kOk;
+}
+
+}  // namespace columbia::obs::report

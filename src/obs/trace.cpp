@@ -9,7 +9,29 @@
 #include <ostream>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "support/build_info.hpp"
 #include "support/timer.hpp"
+
+namespace columbia::obs {
+namespace {
+
+/// Shared by both build variants: a "columbia" metadata object alongside
+/// traceEvents so offline tools (columbia_report) know the provenance and
+/// thread count of the run that produced the trace.
+void write_provenance(JsonWriter& w, std::int64_t threads) {
+  const BuildInfo& bi = build_info();
+  w.key("columbia").begin_object();
+  w.kv("git_sha", bi.git_sha);
+  w.kv("build_type", bi.build_type);
+  w.kv("obs", bi.obs_compiled);
+  w.kv("threads", threads);
+  w.kv("hardware_threads", std::int64_t(hardware_threads()));
+  w.end_object();
+}
+
+}  // namespace
+}  // namespace columbia::obs
 
 namespace columbia::obs {
 
@@ -144,6 +166,7 @@ void write_chrome_trace(std::ostream& os) {
   JsonWriter w(os);
   w.begin_object();
   w.kv("displayTimeUnit", "ms");
+  write_provenance(w, gauge("pool.threads").value());
   w.key("traceEvents").begin_array();
   for (const TraceEvent& e : events) {
     w.begin_object();
@@ -189,6 +212,7 @@ void write_chrome_trace(std::ostream& os) {
   JsonWriter w(os);
   w.begin_object();
   w.kv("displayTimeUnit", "ms");
+  write_provenance(w, 0);
   w.key("traceEvents").begin_array().end_array();
   w.end_object();
   os << '\n';

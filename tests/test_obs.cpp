@@ -323,6 +323,55 @@ TEST(ObsTest, HistogramBuckets) {
   EXPECT_DOUBLE_EQ(h.mean(), 1030.0 / 4.0);
 }
 
+TEST(ObsTest, HistogramBucketEdgesPinned) {
+  // Regression pin for the log2 bucketing boundaries (audited 2026-08):
+  // bucket 0 holds exactly zero; bucket i>=1 is [2^(i-1), 2^i). An exact
+  // power of two 2^k is the *lower* edge of bucket k+1, never the top of
+  // bucket k.
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  for (int k = 0; k < 63; ++k) {
+    const std::uint64_t pow2 = std::uint64_t(1) << k;
+    EXPECT_EQ(obs::Histogram::bucket_of(pow2), k + 1) << "2^" << k;
+    EXPECT_EQ(obs::Histogram::bucket_of(pow2 + (pow2 >> 1)), k + 1)
+        << "1.5 * 2^" << k;
+    if (k > 0)
+      EXPECT_EQ(obs::Histogram::bucket_of(pow2 - 1), k) << "2^" << k << "-1";
+  }
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_of(std::uint64_t(1) << 63), 64);
+  EXPECT_EQ(obs::Histogram::bucket_of(~std::uint64_t(0)), 64);
+}
+
+TEST(ObsTest, HistogramExportedEdgesMatchBucketing) {
+  // The [lo, hi] edges the JSON export prints must agree with bucket_of:
+  // every observed value lands inside its printed interval, and the edges
+  // of adjacent buckets tile without gap or overlap.
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  ObsGuard guard;
+  obs::set_enabled(true);
+  obs::Histogram& h = obs::histogram("obs_test.edges");
+  h.reset();
+  h.observe(0);                        // bucket 0: [0, 0]
+  h.observe(1);                        // bucket 1: [1, 1]
+  h.observe(2);                        // bucket 2: [2, 3]
+  h.observe(4);                        // bucket 3: [4, 7]
+  h.observe(7);                        // bucket 3 again (top edge)
+  h.observe(8);                        // bucket 4: [8, 15]
+  h.observe(std::uint64_t(1) << 63);   // bucket 64: [2^63, 2^64 - 1]
+  std::ostringstream os;
+  obs::write_metrics_json(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"obs_test.edges\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("[0,0,1]"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("[1,1,1]"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("[2,3,1]"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("[4,7,2]"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("[8,15,1]"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("[9223372036854775808,18446744073709551615,1]"),
+            std::string::npos)
+      << doc;
+}
+
 TEST(ObsTest, MetricsJsonExportParses) {
   if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
   ObsGuard guard;

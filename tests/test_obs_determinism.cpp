@@ -21,6 +21,7 @@ namespace {
 struct Guard {
   ~Guard() {
     obs::close_jsonl();
+    obs::set_report(false);
     obs::set_enabled(false);
     obs::reset_trace();
     obs::reset_metrics();
@@ -38,10 +39,13 @@ mesh::UnstructuredMesh small_wing() {
 }
 
 std::vector<real_t> run_nsu3d(const mesh::UnstructuredMesh& m, int threads,
-                              bool tracing, const std::string& jsonl = {}) {
+                              bool tracing, const std::string& jsonl = {},
+                              bool report = false,
+                              const std::string& report_jsonl = {}) {
   Guard guard;
   smp::set_global_threads(threads);
   obs::set_enabled(tracing);
+  obs::set_report(report, report_jsonl);
   // open_jsonl is a stub returning false when compiled out; the history
   // comparison is still meaningful there (everything is a no-op).
   if (!jsonl.empty() && obs::kCompiledIn) EXPECT_TRUE(obs::open_jsonl(jsonl));
@@ -55,10 +59,11 @@ std::vector<real_t> run_nsu3d(const mesh::UnstructuredMesh& m, int threads,
 }
 
 std::vector<real_t> run_cart3d(const cartesian::CartMesh& m, int threads,
-                               bool tracing) {
+                               bool tracing, bool report = false) {
   Guard guard;
   smp::set_global_threads(threads);
   obs::set_enabled(tracing);
+  obs::set_report(report);
   euler::FlowConditions fc;
   fc.mach = 0.3;
   fc.alpha_deg = 2.0;
@@ -109,6 +114,40 @@ TEST(ObsDeterminism, Cart3dTracingOnVsOff) {
 TEST(ObsDeterminism, Cart3dTracedHistoryThreadInvariant) {
   const auto m = small_sphere_mesh();
   expect_equal(run_cart3d(m, 1, true), run_cart3d(m, 4, true));
+}
+
+// COLUMBIA_REPORT (the end-of-solve flight recorder) must be exactly as
+// invisible as tracing: SolveReportScope only toggles the span recorder
+// and reads telemetry after the fact, never solver arithmetic.
+
+TEST(ObsDeterminism, Nsu3dReportOnVsOff) {
+  const auto m = small_wing();
+  expect_equal(run_nsu3d(m, 1, false),
+               run_nsu3d(m, 1, false, {}, /*report=*/true));
+}
+
+TEST(ObsDeterminism, Nsu3dReportedHistoryThreadInvariant) {
+  const auto m = small_wing();
+  expect_equal(run_nsu3d(m, 1, false, {}, true),
+               run_nsu3d(m, 3, false, {}, true));
+}
+
+TEST(ObsDeterminism, Nsu3dReportJsonlSinkInvisible) {
+  const auto m = small_wing();
+  const std::string path = testing::TempDir() + "obs_det_report.jsonl";
+  expect_equal(run_nsu3d(m, 2, false, {}, true),
+               run_nsu3d(m, 2, false, {}, true, path));
+}
+
+TEST(ObsDeterminism, Cart3dReportOnVsOff) {
+  const auto m = small_sphere_mesh();
+  expect_equal(run_cart3d(m, 1, false), run_cart3d(m, 1, false, true));
+}
+
+TEST(ObsDeterminism, Cart3dReportedHistoryThreadInvariant) {
+  const auto m = small_sphere_mesh();
+  expect_equal(run_cart3d(m, 1, false, true),
+               run_cart3d(m, 4, false, true));
 }
 
 }  // namespace

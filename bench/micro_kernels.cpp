@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "cart3d/kernels.hpp"
 #include "cart3d/solver.hpp"
 #include "euler/flux.hpp"
 #include "euler/jacobian.hpp"
@@ -24,6 +25,7 @@
 #include "graph/rcm.hpp"
 #include "linalg/block_tridiag.hpp"
 #include "mesh/builders.hpp"
+#include "nsu3d/kernels.hpp"
 #include "nsu3d/solver.hpp"
 #include "obs/json.hpp"
 #include "sfc/hilbert.hpp"
@@ -495,6 +497,43 @@ int run_kernels_json(const std::string& path) {
                   t, ns / edges, serial_ns / ns, seed_ns / ns);
     }
     smp::set_global_threads(1);
+
+    // Per-kernel phase breakdown (serial): the residual phases measured
+    // through their public kernels, plus the two smoother sweeps. Phase
+    // rows carry no seed baseline; the gate compares their ns_per_edge
+    // against the committed baseline like any other row.
+    {
+      namespace K = nsu3d::kernels;
+      K::Physics phys;
+      phys.freestream = fc.freestream();
+      phys.flux = o.flux;
+      phys.mu_lam = mu_lam;
+      phys.nut_inf = nut_inf;
+      phys.viscous = true;
+      K::Scratch ws;
+      ws.resize(lvl);
+      auto phase = [&](const char* name, auto&& fn) {
+        const double ns = time_kernel_ns(fn);
+        rows.push_back({name, 1, ns / edges, 1, 0});
+        std::printf("%s t=1: %.1f ns/edge\n", name, ns / edges);
+      };
+      phase("nsu3d_prim_cache", [&] { K::prim_cache(lvl, phys, u, ws); });
+      phase("nsu3d_gradients", [&] { K::gradients(lvl, ws, true); });
+      phase("nsu3d_limiter", [&] { K::limiter(lvl, ws); });
+      phase("nsu3d_flux", [&] { K::flux_residual(lvl, phys, ws, true, res); });
+      phase("nsu3d_sa_source", [&] { K::sa_source(lvl, phys, ws, res); });
+      // Smoother sweeps: assemble once, then time the update kernels on a
+      // working copy of the state (each call is a valid implicit sweep).
+      K::wave_speeds(lvl, phys, ws);
+      K::assemble_diag(lvl, phys, o.cfl, u, ws);
+      const std::vector<nsu3d::State> forcing(u.size(), nsu3d::State{});
+      std::vector<nsu3d::State> uu(u.begin(), u.end());
+      phase("nsu3d_point_sweep",
+            [&] { K::point_sweep(lvl, 0.8, forcing, res, ws, uu); });
+      uu.assign(u.begin(), u.end());
+      phase("nsu3d_line_sweep",
+            [&] { K::line_sweep(lvl, phys, 0.8, forcing, res, ws, uu); });
+    }
   }
 
   // --- Cart3D fine-level residual (second-order Euler, cut cells). ---
@@ -517,16 +556,27 @@ int run_kernels_json(const std::string& path) {
     std::vector<euler::Cons> u(s.solution());
     std::vector<euler::Cons> res;
 
+    // Seed replica: the retained scalar reference is a verbatim copy of
+    // the pre-SoA residual (geometry recomputed per call).
+    cart3d::kernels::ReferenceScratch ref;
+    const double seed_ns = time_kernel_ns([&] {
+      cart3d::kernels::residual_reference(s.mesh(0), fc.freestream(), o.flux,
+                                          u, true, ref, res);
+    });
+    std::printf("cart3d seed replica baseline: %.1f ns/face\n",
+                seed_ns / faces);
+
     double serial_ns = 0;
     for (int t : sweep) {
       smp::set_global_threads(t);
       const double ns =
           time_kernel_ns([&] { s.compute_residual(0, u, res, true); });
       if (t == 1) serial_ns = ns;
-      rows.push_back(
-          {"cart3d_residual_fine", t, ns / faces, serial_ns / ns, 0});
-      std::printf("cart3d_residual_fine t=%d: %.1f ns/face (%.2fx serial)\n",
-                  t, ns / faces, serial_ns / ns);
+      rows.push_back({"cart3d_residual_fine", t, ns / faces, serial_ns / ns,
+                      seed_ns / ns});
+      std::printf("cart3d_residual_fine t=%d: %.1f ns/face (%.2fx serial, "
+                  "%.2fx seed)\n",
+                  t, ns / faces, serial_ns / ns, seed_ns / ns);
     }
     smp::set_global_threads(1);
   }
@@ -556,6 +606,7 @@ int run_kernels_json(const std::string& path) {
        "ns_per_edge is wall time per edge (NSU3D) or per face (Cart3D); "
        "speedup_vs_seed compares against a replica of the pre-workspace "
        "serial kernel; speedup_vs_seed 0 means no seed baseline; "
+       "nsu3d_* phase rows time the public SoA phase kernels serially; "
        "thread-sweep speedups are bounded by hardware_threads — with a "
        "single hardware thread the sweep only measures pool overhead");
   w.key("kernels");

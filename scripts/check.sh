@@ -22,6 +22,9 @@ ctest --preset tsan -j "$JOBS"
 
 echo
 echo "== perf gate: BENCH_*.json baselines (scripts/perf_gate.sh) =="
+# Gates every row in BENCH_kernels.json — the end-to-end residual sweeps,
+# the nsu3d_* per-phase kernel rows (gradient/limiter/flux/smoother/line
+# solve), and the halo-transport rows in BENCH_comm.json.
 scripts/perf_gate.sh
 
 echo

@@ -6,6 +6,12 @@
 #
 #   scripts/perf_gate.sh                 # build dir ./build, tolerance 40%
 #   BUILD=build-x PERF_GATE_TOL=15% scripts/perf_gate.sh
+#   BUILD=build-native scripts/perf_gate.sh   # release-native preset
+#
+# The gate prints which build configuration produced the measurement
+# (build dir + compiler flags from the CMake cache) so a number measured
+# under the `release-native` preset (-march=native, FP contraction off)
+# is never mistaken for one from the portable `release` build.
 #
 # The default tolerance is deliberately loose: these are wall-clock numbers
 # from a shared CI container, and the gate's job is catching step-function
@@ -23,6 +29,14 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 for target in micro_kernels ablation_hybrid_comm columbia_report; do
   cmake --build "$BUILD" -j "$JOBS" --target "$target"
 done
+
+# Measurement provenance: name the build configuration the numbers came
+# from before printing any of them.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")
+cxx_flags=$(sed -n 's/^CMAKE_CXX_FLAGS:[^=]*=//p' "$BUILD/CMakeCache.txt")
+echo "== perf gate: measuring with BUILD=$BUILD" \
+  "(CMAKE_BUILD_TYPE=${build_type:-?}${cxx_flags:+, CMAKE_CXX_FLAGS=$cxx_flags}) =="
+echo
 
 echo "== perf gate: re-measuring kernels (micro_kernels --kernels-json) =="
 "$BUILD/bench/micro_kernels" --kernels-json "$BUILD/BENCH_kernels_fresh.json"

@@ -83,15 +83,20 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
   for (std::size_t i = 0; i < n; ++i)
     slot[i] = owned_count[std::size_t(part[i])]++;
 
+  // Packed arrays are component-major (plane c starts at c * owned_count)
+  // and requests are emitted c-major, so consecutive requests against one
+  // owner walk a single plane in ascending slot order.
   const core::RequestLists ghosts = halo_requests(m, part, nparts);
   core::RequestLists reqs1(np);
   for (index_t p = 0; p < nparts; ++p) {
     const auto& g = ghosts[std::size_t(p)];
     reqs1[std::size_t(p)].reserve(g.size() * 5);
-    for (const core::HaloRequest& r : g)
-      for (index_t c = 0; c < 5; ++c)
+    for (index_t c = 0; c < 5; ++c)
+      for (const core::HaloRequest& r : g)
         reqs1[std::size_t(p)].push_back(
-            {r.from_partition, slot[std::size_t(r.item)] * 5 + c});
+            {r.from_partition,
+             c * owned_count[std::size_t(r.from_partition)] +
+                 slot[std::size_t(r.item)]});
   }
   core::ExchangePlan plan1(std::move(reqs1), comm);
 
@@ -128,9 +133,10 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
       const auto it = contrib[std::size_t(q)].find(p);
       if (it == contrib[std::size_t(q)].end()) continue;
       const index_t base = coff[std::size_t(q)].at(p);
-      for (std::size_t k = 0; k < it->second.size(); ++k)
-        for (index_t c = 0; c < 5; ++c)
-          reqs2[std::size_t(p)].push_back({q, (base + index_t(k)) * 5 + c});
+      for (index_t c = 0; c < 5; ++c)
+        for (std::size_t k = 0; k < it->second.size(); ++k)
+          reqs2[std::size_t(p)].push_back(
+              {q, c * contrib_count[std::size_t(q)] + base + index_t(k)});
     }
   core::ExchangePlan plan2(std::move(reqs2), comm);
 
@@ -139,9 +145,11 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
   for (index_t p = 0; p < nparts; ++p)
     state_data[std::size_t(p)].resize(
         std::size_t(owned_count[std::size_t(p)]) * 5);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t c = 0; c < 5; ++c)
-      state_data[std::size_t(part[i])][std::size_t(slot[i]) * 5 + c] = u[i][c];
+  for (std::size_t c = 0; c < 5; ++c)
+    for (std::size_t i = 0; i < n; ++i)
+      state_data[std::size_t(part[i])]
+                [c * std::size_t(owned_count[std::size_t(part[i])]) +
+                 std::size_t(slot[i])] = u[i][c];
   const core::PartitionData& ghost_vals = plan1.exchange(state_data);
 
   // Phase 2: face-flux accumulation, one rank per partition on the pool.
@@ -153,9 +161,9 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
           std::vector<Cons> ghost(n, Cons{});  // sparse by construction
           const auto& g = ghosts[mep];
           const auto& got = ghost_vals[mep];
-          for (std::size_t k = 0; k < g.size(); ++k)
-            for (std::size_t c = 0; c < 5; ++c)
-              ghost[std::size_t(g[k].item)][c] = got[k * 5 + c];
+          for (std::size_t c = 0; c < 5; ++c)
+            for (std::size_t k = 0; k < g.size(); ++k)
+              ghost[std::size_t(g[k].item)][c] = got[c * g.size() + k];
 
           auto state_of = [&](index_t i) -> const Cons& {
             return part[std::size_t(i)] == me ? u[std::size_t(i)]
@@ -206,9 +214,9 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
     auto& buf = contrib_data[std::size_t(p)];
     buf.resize(std::size_t(contrib_count[std::size_t(p)]) * 5);
     std::size_t w = 0;
-    for (const auto& [q, cells] : contrib[std::size_t(p)])
-      for (index_t i : cells)
-        for (std::size_t c = 0; c < 5; ++c)
+    for (std::size_t c = 0; c < 5; ++c)
+      for (const auto& [q, cells] : contrib[std::size_t(p)])
+        for (index_t i : cells)
           buf[w++] = res_of[std::size_t(p)][std::size_t(i)][c];
   }
   const core::PartitionData& returned = plan2.exchange(contrib_data);
@@ -222,8 +230,10 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
     for (index_t q = 0; q < nparts; ++q) {
       const auto it = contrib[std::size_t(q)].find(p);
       if (it == contrib[std::size_t(q)].end()) continue;
-      for (index_t i : it->second)
-        for (std::size_t c = 0; c < 5; ++c)
+      // c-major to match the request emission; per-element add order
+      // (ascending q) is unchanged, so the sums are bit-identical.
+      for (std::size_t c = 0; c < 5; ++c)
+        for (index_t i : it->second)
           result[std::size_t(i)][c] += got[k++];
     }
   }

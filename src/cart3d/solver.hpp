@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "cart3d/kernels.hpp"
 #include "cartesian/coarsen.hpp"
 #include "core/multigrid.hpp"
 #include "core/params.hpp"
@@ -124,12 +125,10 @@ class Cart3DSolver {
   /// Persistent per-level scratch so steady-state cycles perform no heap
   /// allocation (vectors keep capacity across sweeps).
   struct Workspace {
-    std::vector<euler::Prim> w;                    // primitive cache
-    std::vector<std::array<geom::Vec3, 5>> grad;   // LSQ gradients
-    std::vector<std::array<real_t, 5>> phi, qmin, qmax;
-    std::vector<std::array<real_t, 6>> gram;       // LSQ normal matrices
-    std::vector<std::array<geom::Vec3, 5>> rhs;    // LSQ right-hand sides
-    std::vector<real_t> wave;                      // sum |lambda| A
+    kernels::LevelGeom geom;  // per-level geometry precompute (lazy-built)
+    kernels::Scratch k;       // SoA residual scratch
+    std::vector<euler::Prim> w;  // primitive cache (smoother wave speeds)
+    std::vector<real_t> wave;    // sum |lambda| A
     std::vector<euler::Cons> u0;                   // RK stage base state
     // Restriction scratch (coarse-level sized).
     std::vector<real_t> vol;

@@ -1,141 +1,8 @@
 #include "euler/flux.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace columbia::euler {
 
-namespace {
-
 using geom::Vec3;
-
-real_t total_enthalpy(const Prim& w) {
-  return kGamma / (kGamma - 1) * w.p / w.rho + 0.5 * dot(w.vel, w.vel);
-}
-
-Cons roe_flux(const Prim& l, const Prim& r, const Vec3& n) {
-  // Roe average.
-  const real_t sl = std::sqrt(l.rho), sr = std::sqrt(r.rho);
-  const real_t inv = 1.0 / (sl + sr);
-  const Vec3 vel = (sl * l.vel + sr * r.vel) * inv;
-  const real_t h = (sl * total_enthalpy(l) + sr * total_enthalpy(r)) * inv;
-  const real_t q2 = dot(vel, vel);
-  const real_t a2 = (kGamma - 1) * (h - 0.5 * q2);
-  const real_t a = std::sqrt(std::max<real_t>(a2, 1e-12));
-  const real_t un = dot(vel, n);
-
-  // Wave strengths.
-  const real_t drho = r.rho - l.rho;
-  const real_t dp = r.p - l.p;
-  const Vec3 dvel = r.vel - l.vel;
-  const real_t dun = dot(dvel, n);
-
-  real_t lam1 = std::abs(un - a);
-  real_t lam2 = std::abs(un);
-  real_t lam3 = std::abs(un + a);
-  // Harten entropy fix on the nonlinear waves.
-  const real_t eps = 0.1 * a;
-  auto fix = [&](real_t lam) {
-    return lam < eps ? 0.5 * (lam * lam / eps + eps) : lam;
-  };
-  lam1 = fix(lam1);
-  lam3 = fix(lam3);
-
-  // Wave strengths use the Roe-averaged density rho_roe = sqrt(rho_l rho_r).
-  const real_t rho_roe = sl * sr;
-  const real_t w2 = lam2 * (drho - dp / a2);
-  const real_t w1r = lam1 * (dp - rho_roe * a * dun) / (2 * a2);
-  const real_t w3r = lam3 * (dp + rho_roe * a * dun) / (2 * a2);
-
-  // |A| dU assembled from the characteristic decomposition.
-  Cons diss{};
-  // Acoustic waves.
-  const Vec3 u_minus = vel - a * n;
-  const Vec3 u_plus = vel + a * n;
-  diss[0] += w1r + w3r;
-  diss[1] += w1r * u_minus.x + w3r * u_plus.x;
-  diss[2] += w1r * u_minus.y + w3r * u_plus.y;
-  diss[3] += w1r * u_minus.z + w3r * u_plus.z;
-  diss[4] += w1r * (h - a * un) + w3r * (h + a * un);
-  // Entropy wave.
-  diss[0] += w2;
-  diss[1] += w2 * vel.x;
-  diss[2] += w2 * vel.y;
-  diss[3] += w2 * vel.z;
-  diss[4] += w2 * 0.5 * q2;
-  // Shear waves.
-  const Vec3 dvt = dvel - dun * n;
-  diss[1] += lam2 * rho_roe * dvt.x;
-  diss[2] += lam2 * rho_roe * dvt.y;
-  diss[3] += lam2 * rho_roe * dvt.z;
-  diss[4] += lam2 * rho_roe * (dot(vel, dvel) - un * dun);
-
-  const Cons fl = physical_flux(l, n);
-  const Cons fr = physical_flux(r, n);
-  Cons f;
-  for (int i = 0; i < 5; ++i)
-    f[std::size_t(i)] =
-        0.5 * (fl[std::size_t(i)] + fr[std::size_t(i)]) - 0.5 * diss[std::size_t(i)];
-  return f;
-}
-
-Cons van_leer_flux(const Prim& l, const Prim& r, const Vec3& n) {
-  auto split = [&](const Prim& w, real_t sign) {
-    const real_t a = w.sound_speed();
-    const real_t un = dot(w.vel, n);
-    const real_t m = un / a;
-    Cons f{};
-    // Supersonic limits: F+ carries the full flux when m >= 1 and nothing
-    // when m <= -1; F- is the mirror image.
-    if (sign > 0) {
-      if (m >= 1.0) return physical_flux(w, n);
-      if (m <= -1.0) return Cons{};
-    } else {
-      if (m <= -1.0) return physical_flux(w, n);
-      if (m >= 1.0) return Cons{};
-    }
-    // Subsonic split flux.
-    const real_t fmass = sign * 0.25 * w.rho * a * (m + sign) * (m + sign);
-    const real_t common = (-un + sign * 2 * a) / kGamma;
-    f[0] = fmass;
-    f[1] = fmass * (w.vel.x + n.x * common);
-    f[2] = fmass * (w.vel.y + n.y * common);
-    f[3] = fmass * (w.vel.z + n.z * common);
-    const real_t term = ((kGamma - 1) * un + sign * 2 * a);
-    f[4] = fmass * (0.5 * (dot(w.vel, w.vel) - un * un) +
-                    term * term / (2 * (kGamma * kGamma - 1)));
-    return f;
-  };
-  const Cons fp = split(l, +1.0);
-  const Cons fm = split(r, -1.0);
-  return fp + fm;
-}
-
-Cons rusanov_flux(const Prim& l, const Prim& r, const Vec3& n) {
-  const real_t s =
-      std::max(spectral_radius(l, n), spectral_radius(r, n));
-  const Cons ul = to_conservative(l), ur = to_conservative(r);
-  const Cons fl = physical_flux(l, n), fr = physical_flux(r, n);
-  Cons f;
-  for (int i = 0; i < 5; ++i)
-    f[std::size_t(i)] = 0.5 * (fl[std::size_t(i)] + fr[std::size_t(i)]) -
-                        0.5 * s * (ur[std::size_t(i)] - ul[std::size_t(i)]);
-  return f;
-}
-
-}  // namespace
-
-Cons physical_flux(const Prim& w, const Vec3& n) {
-  const real_t un = dot(w.vel, n);
-  const real_t rho_un = w.rho * un;
-  const real_t e = w.p / (kGamma - 1) + 0.5 * w.rho * dot(w.vel, w.vel);
-  return {rho_un, rho_un * w.vel.x + w.p * n.x, rho_un * w.vel.y + w.p * n.y,
-          rho_un * w.vel.z + w.p * n.z, un * (e + w.p)};
-}
-
-real_t spectral_radius(const Prim& w, const Vec3& unit_n) {
-  return std::abs(dot(w.vel, unit_n)) + w.sound_speed();
-}
 
 Cons numerical_flux(const Prim& l, const Prim& r, const Vec3& n,
                     FluxScheme scheme) {
@@ -145,11 +12,6 @@ Cons numerical_flux(const Prim& l, const Prim& r, const Vec3& n,
     case FluxScheme::Rusanov: return rusanov_flux(l, r, n);
   }
   return {};
-}
-
-Cons wall_flux(const Prim& w, const Vec3& n) {
-  // Slip wall: only the pressure term survives (u.n = 0 enforced weakly).
-  return {0, w.p * n.x, w.p * n.y, w.p * n.z, 0};
 }
 
 Cons farfield_flux(const Prim& interior, const Prim& freestream,

@@ -109,6 +109,35 @@ struct BlockMat {
   }
 };
 
+/// r -= m * x without materializing the product: each row's dot product
+/// accumulates in the same ascending-j order operator* uses, then is
+/// subtracted once — bit-identical to `r -= m * x`, one pass, no temp.
+template <int N>
+inline void msub(BlockVec<N>& r, const BlockMat<N>& m, const BlockVec<N>& x) {
+  for (int i = 0; i < N; ++i) {
+    real_t s = 0;
+    for (int j = 0; j < N; ++j) s += m(i, j) * x[j];
+    r[i] -= s;
+  }
+}
+
+/// r -= x * y without materializing the product. The row accumulator
+/// receives each element's terms in the same ascending-k order the
+/// operator* loops produce, so the subtracted values are bit-identical;
+/// the inner j-loops run unit-stride over the row-major storage.
+template <int N>
+inline void msub(BlockMat<N>& r, const BlockMat<N>& x, const BlockMat<N>& y) {
+  for (int i = 0; i < N; ++i) {
+    std::array<real_t, N> acc{};
+    for (int k = 0; k < N; ++k) {
+      const real_t xi = x(i, k);
+      for (int j = 0; j < N; ++j)
+        acc[std::size_t(j)] += xi * y(k, j);
+    }
+    for (int j = 0; j < N; ++j) r(i, j) -= acc[std::size_t(j)];
+  }
+}
+
 /// Structured outcome of a block factorization. When a pivot is singular
 /// to working precision, records WHICH column failed and how small the
 /// best available pivot was, so callers can report the offending
@@ -187,14 +216,28 @@ class BlockLU {
     return x;
   }
 
-  /// Solves for a matrix right-hand side column by column: X = A^{-1} B.
+  /// Solves for a matrix right-hand side: X = A^{-1} B. All columns are
+  /// advanced together row-wise, so the inner loops are unit-stride over
+  /// the row-major storage; per element this applies the identical
+  /// ascending-j update chain (and the same final division) a column-by-
+  /// column solve would, so the result is bit-identical to N vector
+  /// solves.
   BlockMat<N> solve(const BlockMat<N>& b) const {
     BlockMat<N> x;
-    for (int c = 0; c < N; ++c) {
-      BlockVec<N> col;
-      for (int r = 0; r < N; ++r) col[r] = b(r, c);
-      const BlockVec<N> sol = solve(col);
-      for (int r = 0; r < N; ++r) x(r, c) = sol[r];
+    for (int i = 0; i < N; ++i)
+      for (int c = 0; c < N; ++c) x(i, c) = b(piv_[std::size_t(i)], c);
+    for (int i = 1; i < N; ++i)
+      for (int j = 0; j < i; ++j) {
+        const real_t f = lu_(i, j);
+        for (int c = 0; c < N; ++c) x(i, c) -= f * x(j, c);
+      }
+    for (int i = N - 1; i >= 0; --i) {
+      for (int j = i + 1; j < N; ++j) {
+        const real_t f = lu_(i, j);
+        for (int c = 0; c < N; ++c) x(i, c) -= f * x(j, c);
+      }
+      const real_t d = lu_(i, i);
+      for (int c = 0; c < N; ++c) x(i, c) /= d;
     }
     return x;
   }

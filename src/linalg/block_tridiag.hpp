@@ -50,9 +50,9 @@ TridiagStatus solve_block_tridiag_status(std::vector<BlockMat<N>>& lower,
     // simpler and equally stable to compute M = D^{-1} upper[i-1] and
     // subtract lower[i] * M.
     const BlockMat<N> m = lu[i - 1].solve(upper[i - 1]);
-    diag[i] -= lower[i] * m;
+    msub(diag[i], lower[i], m);
     const BlockVec<N> r = lu[i - 1].solve(rhs[i - 1]);
-    rhs[i] -= lower[i] * r;
+    msub(rhs[i], lower[i], r);
     fs = lu[i].factor_status(diag[i]);
     if (!fs) return TridiagStatus{fs, i};
   }
@@ -61,7 +61,7 @@ TridiagStatus solve_block_tridiag_status(std::vector<BlockMat<N>>& lower,
   rhs[n - 1] = lu[n - 1].solve(rhs[n - 1]);
   for (std::size_t i = n - 1; i-- > 0;) {
     BlockVec<N> r = rhs[i];
-    r -= upper[i] * rhs[i + 1];
+    msub(r, upper[i], rhs[i + 1]);
     rhs[i] = lu[i].solve(r);
   }
   return TridiagStatus{};

@@ -49,7 +49,64 @@ void Level::finalize_edges(bool color) {
                          node_center[std::size_t(a)]);
     edge_eps2[e] = std::pow(0.3 * edge_length[e], 3);
   }
+
+  // SoA mirrors for the kernel layer.
+  const std::size_t ne = edges.size();
+  edge_a.resize(ne);
+  edge_b.resize(ne);
+  edge_nx.resize(ne);
+  edge_ny.resize(ne);
+  edge_nz.resize(ne);
+  edge_ux.resize(ne);
+  edge_uy.resize(ne);
+  edge_uz.resize(ne);
+  edge_dx.resize(ne);
+  edge_dy.resize(ne);
+  edge_dz.resize(ne);
+  edge_geo.resize(ne);
+  for (std::size_t e = 0; e < ne; ++e) {
+    edge_a[e] = edges[e].first;
+    edge_b[e] = edges[e].second;
+    edge_nx[e] = edge_normal[e].x;
+    edge_ny[e] = edge_normal[e].y;
+    edge_nz[e] = edge_normal[e].z;
+    edge_ux[e] = edge_unit[e].x;
+    edge_uy[e] = edge_unit[e].y;
+    edge_uz[e] = edge_unit[e].z;
+    edge_dx[e] = edge_dab[e].x;
+    edge_dy[e] = edge_dab[e].y;
+    edge_dz[e] = edge_dab[e].z;
+    edge_geo[e] = (edge_area[e] > 0 && edge_length[e] > 0)
+                      ? edge_area[e] / edge_length[e]
+                      : 0.0;
+  }
+  inv_volume.resize(node_volume.size());
+  for (std::size_t i = 0; i < node_volume.size(); ++i)
+    inv_volume[i] = 1.0 / std::max(node_volume[i], real_t(1e-300));
+
   build_incident();
+  build_line_edges();
+}
+
+void Level::build_line_edges() {
+  line_edges.assign(lines.lines.size(), {});
+  for (std::size_t li = 0; li < lines.lines.size(); ++li) {
+    const auto& line = lines.lines[li];
+    if (line.empty()) continue;
+    auto& le = line_edges[li];
+    le.assign(line.size() - 1, {kInvalidIndex, 0.0});
+    for (std::size_t k = 0; k + 1 < line.size(); ++k) {
+      const index_t i = line[k];
+      const index_t j = line[k + 1];
+      for (const auto& [eid, sgn] : incident[std::size_t(i)]) {
+        const auto [ea, eb] = edges[std::size_t(eid)];
+        const index_t other = ea == i ? eb : ea;
+        if (other != j) continue;
+        le[k] = {eid, sgn};
+        break;
+      }
+    }
+  }
 }
 
 namespace {

@@ -39,7 +39,23 @@ struct Level {
   std::vector<geom::Vec3> edge_unit;  // edge_normal / area (0 if degenerate)
   std::vector<geom::Vec3> edge_dab;   // 0.5 * (center_b - center_a)
   std::vector<real_t> edge_eps2;      // Venkatakrishnan (0.3 h)^3
+  /// SoA mirror of the edge topology/geometry for the vectorized kernel
+  /// layer (nsu3d/kernels.*): endpoint indices and the normal / unit-normal
+  /// / half-offset components as contiguous per-component arrays. Values
+  /// are bitwise-identical copies of the AoS fields above; `edge_geo` is
+  /// the viscous metric area/length (0 when either vanishes), computed
+  /// with the same division the flux sweep previously performed per edge.
+  std::vector<index_t> edge_a, edge_b;
+  std::vector<real_t> edge_nx, edge_ny, edge_nz;
+  std::vector<real_t> edge_ux, edge_uy, edge_uz;
+  std::vector<real_t> edge_dx, edge_dy, edge_dz;
+  std::vector<real_t> edge_geo;
   std::vector<real_t> node_volume;
+  /// 1 / max(node_volume, 1e-300): the gradient normalization factor. The
+  /// scalar path divides a Vec3 by max(vol, 1e-300), which geom::Vec3
+  /// implements as multiplication by the reciprocal — precomputing that
+  /// reciprocal once is bitwise-identical.
+  std::vector<real_t> inv_volume;
   std::vector<geom::Vec3> node_center;             // volume centroid proxy
   /// Outward boundary closure per node, per BoundaryTag (Wall/Farfield/Sym).
   std::vector<std::array<geom::Vec3, 3>> boundary_normal;
@@ -58,7 +74,14 @@ struct Level {
   /// Per-node incident edge lists (edge id, +1 if node is 'a' else -1).
   std::vector<std::vector<std::pair<index_t, real_t>>> incident;
 
+  /// For line k, entry j is the (edge id, sign) connecting line[j] to
+  /// line[j+1] (sign +1 when line[j] is the edge's 'a' endpoint), or
+  /// (kInvalidIndex, 0) when no such edge exists. Precomputed so the
+  /// block-tridiagonal assembly does not search `incident` every sweep.
+  std::vector<std::vector<std::pair<index_t, real_t>>> line_edges;
+
   void build_incident();
+  void build_line_edges();
 
   /// Colors + reorders the edge arrays color-major (when `color` is set),
   /// precomputes the per-edge geometry, and (re)builds `incident`. Must

@@ -161,16 +161,21 @@ std::vector<State> parallel_residual(const Level& lvl,
   }
 
   // Ghost-state schedule: six components per ghost node, addressed into
-  // the owner's packed array.
+  // the owner's packed array. The packed arrays are component-major
+  // (component plane c starts at c * owned_count), and the requests are
+  // emitted c-major, so consecutive requests against one owner walk a
+  // single plane in ascending slot order (unit-stride gather runs).
   const core::RequestLists ghosts = halo_requests(lvl, part, nparts);
   core::RequestLists reqs1(np);
   for (index_t p = 0; p < nparts; ++p) {
     const auto& g = ghosts[std::size_t(p)];
     reqs1[std::size_t(p)].reserve(g.size() * 6);
-    for (const core::HaloRequest& r : g)
-      for (index_t c = 0; c < 6; ++c)
+    for (index_t c = 0; c < 6; ++c)
+      for (const core::HaloRequest& r : g)
         reqs1[std::size_t(p)].push_back(
-            {r.from_partition, slot[std::size_t(r.item)] * 6 + c});
+            {r.from_partition,
+             c * owned_count[std::size_t(r.from_partition)] +
+                 slot[std::size_t(r.item)]});
   }
   core::ExchangePlan plan1(std::move(reqs1), comm);
 
@@ -212,9 +217,10 @@ std::vector<State> parallel_residual(const Level& lvl,
       const auto it = contrib[std::size_t(q)].find(p);
       if (it == contrib[std::size_t(q)].end()) continue;
       const index_t base = coff[std::size_t(q)].at(p);
-      for (std::size_t k = 0; k < it->second.size(); ++k)
-        for (index_t c = 0; c < 6; ++c)
-          reqs2[std::size_t(p)].push_back({q, (base + index_t(k)) * 6 + c});
+      for (index_t c = 0; c < 6; ++c)
+        for (std::size_t k = 0; k < it->second.size(); ++k)
+          reqs2[std::size_t(p)].push_back(
+              {q, c * contrib_count[std::size_t(q)] + base + index_t(k)});
     }
   core::ExchangePlan plan2(std::move(reqs2), comm);
 
@@ -223,9 +229,11 @@ std::vector<State> parallel_residual(const Level& lvl,
   core::PartitionData state_data(np);
   for (index_t p = 0; p < nparts; ++p)
     state_data[std::size_t(p)].resize(std::size_t(owned_count[std::size_t(p)]) * 6);
-  for (std::size_t v = 0; v < n; ++v)
-    for (std::size_t c = 0; c < 6; ++c)
-      state_data[std::size_t(part[v])][std::size_t(slot[v]) * 6 + c] = u[v][c];
+  for (std::size_t c = 0; c < 6; ++c)
+    for (std::size_t v = 0; v < n; ++v)
+      state_data[std::size_t(part[v])]
+                [c * std::size_t(owned_count[std::size_t(part[v])]) +
+                 std::size_t(slot[v])] = u[v][c];
   const core::PartitionData& ghost_vals = plan1.exchange(state_data);
 
   // Phase 2: flux accumulation over owned edges (first-order), one rank
@@ -239,9 +247,9 @@ std::vector<State> parallel_residual(const Level& lvl,
           std::vector<State> ghost(n, State{});  // sparse by construction
           const auto& g = ghosts[mep];
           const auto& got = ghost_vals[mep];
-          for (std::size_t k = 0; k < g.size(); ++k)
-            for (std::size_t c = 0; c < 6; ++c)
-              ghost[std::size_t(g[k].item)][c] = got[k * 6 + c];
+          for (std::size_t c = 0; c < 6; ++c)
+            for (std::size_t k = 0; k < g.size(); ++k)
+              ghost[std::size_t(g[k].item)][c] = got[c * g.size() + k];
 
           auto state_of = [&](index_t v) -> const State& {
             return part[std::size_t(v)] == me ? u[std::size_t(v)]
@@ -319,9 +327,9 @@ std::vector<State> parallel_residual(const Level& lvl,
     auto& buf = contrib_data[std::size_t(p)];
     buf.resize(std::size_t(contrib_count[std::size_t(p)]) * 6);
     std::size_t w = 0;
-    for (const auto& [q, nodes] : contrib[std::size_t(p)])
-      for (index_t v : nodes)
-        for (std::size_t c = 0; c < 6; ++c)
+    for (std::size_t c = 0; c < 6; ++c)
+      for (const auto& [q, nodes] : contrib[std::size_t(p)])
+        for (index_t v : nodes)
           buf[w++] = res_of[std::size_t(p)][std::size_t(v)][c];
   }
   const core::PartitionData& returned = plan2.exchange(contrib_data);
@@ -335,8 +343,11 @@ std::vector<State> parallel_residual(const Level& lvl,
     for (index_t q = 0; q < nparts; ++q) {
       const auto it = contrib[std::size_t(q)].find(p);
       if (it == contrib[std::size_t(q)].end()) continue;
-      for (index_t v : it->second)
-        for (std::size_t c = 0; c < 6; ++c)
+      // c-major to match the request emission; per (node, component)
+      // element the adds still arrive in ascending-q order, so the
+      // assembled sums are bit-identical to the node-major packing.
+      for (std::size_t c = 0; c < 6; ++c)
+        for (index_t v : it->second)
           result[std::size_t(v)][c] += got[k++];
     }
   }

@@ -22,80 +22,14 @@ using linalg::BlockLU;
 using linalg::BlockMat;
 using linalg::BlockVec;
 
+using kernels::mean_prim;
+using kernels::state_valid;
+
 namespace {
 
-// Spalart-Allmaras closure constants (Spalart & Allmaras 1994; the paper's
-// reference [8]).
-constexpr real_t kCb1 = 0.1355;
-constexpr real_t kSigma = 2.0 / 3.0;
-constexpr real_t kCb2 = 0.622;
-constexpr real_t kKappa = 0.41;
-constexpr real_t kCw1 = kCb1 / (kKappa * kKappa) + (1.0 + kCb2) / kSigma;
-constexpr real_t kCw2 = 0.3;
-constexpr real_t kCw3 = 2.0;
-constexpr real_t kCv1 = 7.1;
-constexpr real_t kPrandtl = 0.72;
-constexpr real_t kPrandtlTurb = 0.9;
-
-// Chunk grains for the pooled loops; fixed constants so chunk boundaries —
-// and with them floating-point combine order — never depend on the thread
-// count (see smp::ThreadPool's determinism contract).
+// Chunk grain for the pooled node loops here (prolongation); matches the
+// kernel layer's constant so chunk boundaries never depend on thread count.
 constexpr std::size_t kNodeGrain = 256;
-constexpr std::size_t kEdgeGrain = 512;
-constexpr std::size_t kLineGrain = 2;
-
-Prim mean_prim(const State& u) {
-  const real_t inv = 1.0 / u[0];
-  const Vec3 vel{u[1] * inv, u[2] * inv, u[3] * inv};
-  const real_t p =
-      (euler::kGamma - 1) * (u[4] - 0.5 * u[0] * dot(vel, vel));
-  return {u[0], vel, p};
-}
-
-bool state_valid(const State& u) {
-  for (real_t x : u)
-    if (!std::isfinite(x)) return false;
-  if (!(u[0] > 0)) return false;
-  return mean_prim(u).p > 0;
-}
-
-/// Eddy viscosity from the SA working variable.
-real_t eddy_viscosity(real_t rho, real_t nut, real_t nu_lam) {
-  if (nut <= 0) return 0;
-  const real_t chi = nut / nu_lam;
-  const real_t chi3 = chi * chi * chi;
-  const real_t fv1 = chi3 / (chi3 + kCv1 * kCv1 * kCv1);
-  return rho * nut * fv1;
-}
-
-/// Scalar component c of the reconstruction set [rho, u, v, w, p, nut]:
-/// the one helper shared by the gradient, limiter, and reconstruction
-/// stages.
-inline real_t prim_scalar(const Prim& w, real_t nut, int c) {
-  switch (c) {
-    case 0: return w.rho;
-    case 1: return w.vel.x;
-    case 2: return w.vel.y;
-    case 3: return w.vel.z;
-    case 4: return w.p;
-    default: return nut;
-  }
-}
-
-/// Runs `body(edge)` over every edge, one color span at a time. Edges in
-/// a span touch disjoint nodes (Level::finalize_edges), so the scatter is
-/// race-free; processing colors in order keeps per-node accumulation
-/// order fixed for every thread count.
-template <class Fn>
-void for_edges_colored(const Level& lvl, Fn&& body) {
-  smp::ThreadPool& pool = smp::ThreadPool::global();
-  for (std::size_t c = 0; c + 1 < lvl.color_offsets.size(); ++c)
-    pool.parallel_for(lvl.color_offsets[c], lvl.color_offsets[c + 1],
-                      kEdgeGrain,
-                      [&](std::size_t b, std::size_t e, int) {
-                        for (std::size_t k = b; k < e; ++k) body(k);
-                      });
-}
 
 /// Elementwise (no cross-index writes) loop over [0, n).
 template <class Fn>
@@ -115,6 +49,11 @@ Nsu3dSolver::Nsu3dSolver(const mesh::UnstructuredMesh& m,
   COLUMBIA_REQUIRE(opt_.mg_levels >= 1);
   mu_lam_ = cond_.mach / cond_.reynolds;  // nondimensional reference
   nut_inf_ = opt_.viscous ? 3.0 * mu_lam_ / freestream_.rho : 0.0;
+  phys_.freestream = freestream_;
+  phys_.flux = opt_.flux;
+  phys_.mu_lam = mu_lam_;
+  phys_.nut_inf = nut_inf_;
+  phys_.viscous = opt_.viscous;
 
   LevelOptions lo;
   lo.num_levels = opt_.mg_levels;
@@ -171,250 +110,8 @@ void Nsu3dSolver::compute_residual(int l, const std::vector<State>& u,
                                    std::vector<State>& res,
                                    bool second_order) {
   OBS_SPAN("nsu3d.residual", "level", l);
-  const Level& lvl = levels_[std::size_t(l)];
-  Workspace& ws = work_[std::size_t(l)];
-  const std::size_t n = std::size_t(lvl.num_nodes);
-  res.assign(n, State{});
-
-  // Primitive caches.
-  ws.w.resize(n);
-  ws.nut.resize(n);
-  ws.mut.resize(n);
-  auto& w = ws.w;
-  auto& nut = ws.nut;
-  auto& mut = ws.mut;
-  for_nodes(n, [&](std::size_t i) {
-    w[i] = mean_prim(u[i]);
-    nut[i] = u[i][5] / u[i][0];
-    mut[i] = opt_.viscous
-                 ? eddy_viscosity(w[i].rho, nut[i], mu_lam_ / w[i].rho)
-                 : 0.0;
-  });
-
-  // Green-Gauss gradients of [rho, u, v, w, p, nut]: used for second-order
-  // reconstruction (fine level) and for the vorticity in the SA source.
-  const bool need_grad = second_order || opt_.viscous;
-  auto& grad = ws.grad;
-  if (need_grad) {
-    grad.assign(n, {});
-    for_edges_colored(lvl, [&](std::size_t e) {
-      const auto [a, b] = lvl.edges[e];
-      const Vec3& nrm = lvl.edge_normal[e];
-      for (int c = 0; c < 6; ++c) {
-        const real_t qf =
-            0.5 * (prim_scalar(w[std::size_t(a)], nut[std::size_t(a)], c) +
-                   prim_scalar(w[std::size_t(b)], nut[std::size_t(b)], c));
-        grad[std::size_t(a)][std::size_t(c)] += qf * nrm;
-        grad[std::size_t(b)][std::size_t(c)] -= qf * nrm;
-      }
-    });
-    for_nodes(n, [&](std::size_t i) {
-      Vec3 bn{};
-      for (const Vec3& t : lvl.boundary_normal[i]) bn += t;
-      for (int c = 0; c < 6; ++c) {
-        grad[i][std::size_t(c)] += prim_scalar(w[i], nut[i], c) * bn;
-        grad[i][std::size_t(c)] =
-            grad[i][std::size_t(c)] / std::max(lvl.node_volume[i], real_t(1e-300));
-      }
-    });
-  }
-
-  // Venkatakrishnan limiter for the fine-level reconstruction.
-  auto& phi = ws.phi;
-  if (second_order) {
-    auto& qmin = ws.qmin;
-    auto& qmax = ws.qmax;
-    qmin.resize(n);
-    qmax.resize(n);
-    for_nodes(n, [&](std::size_t i) {
-      for (int c = 0; c < 6; ++c)
-        qmin[i][std::size_t(c)] = qmax[i][std::size_t(c)] =
-            prim_scalar(w[i], nut[i], c);
-    });
-    for_edges_colored(lvl, [&](std::size_t e) {
-      const auto [a, b] = lvl.edges[e];
-      for (int c = 0; c < 6; ++c) {
-        const real_t qa = prim_scalar(w[std::size_t(a)], nut[std::size_t(a)], c);
-        const real_t qb = prim_scalar(w[std::size_t(b)], nut[std::size_t(b)], c);
-        qmin[std::size_t(a)][std::size_t(c)] = std::min(qmin[std::size_t(a)][std::size_t(c)], qb);
-        qmax[std::size_t(a)][std::size_t(c)] = std::max(qmax[std::size_t(a)][std::size_t(c)], qb);
-        qmin[std::size_t(b)][std::size_t(c)] = std::min(qmin[std::size_t(b)][std::size_t(c)], qa);
-        qmax[std::size_t(b)][std::size_t(c)] = std::max(qmax[std::size_t(b)][std::size_t(c)], qa);
-      }
-    });
-    phi.assign(n, {1, 1, 1, 1, 1, 1});
-    auto venkat = [](real_t dplus, real_t dq, real_t eps2) {
-      const real_t num = (dplus * dplus + eps2) + 2.0 * dplus * dq;
-      const real_t den = dplus * dplus + 2.0 * dq * dq + dplus * dq + eps2;
-      return den > 0 ? num / den : 1.0;
-    };
-    for_edges_colored(lvl, [&](std::size_t e) {
-      const auto [a, b] = lvl.edges[e];
-      const Vec3& dab = lvl.edge_dab[e];
-      const real_t eps2 = lvl.edge_eps2[e];
-      for (int side = 0; side < 2; ++side) {
-        const std::size_t i = std::size_t(side == 0 ? a : b);
-        const Vec3 d = side == 0 ? dab : -1.0 * dab;
-        for (int c = 0; c < 6; ++c) {
-          const real_t dq = dot(grad[i][std::size_t(c)], d);
-          real_t lim = 1.0;
-          if (dq > 1e-14)
-            lim = venkat(qmax[i][std::size_t(c)] - prim_scalar(w[i], nut[i], c),
-                         dq, eps2);
-          else if (dq < -1e-14)
-            lim = venkat(prim_scalar(w[i], nut[i], c) - qmin[i][std::size_t(c)],
-                         -dq, eps2);
-          phi[i][std::size_t(c)] = std::min(phi[i][std::size_t(c)], lim);
-        }
-      }
-    });
-  }
-
-  auto reconstruct = [&](std::size_t i, const Vec3& d, real_t& nut_out) -> Prim {
-    nut_out = nut[i];
-    if (!second_order) return w[i];
-    std::array<real_t, 6> q{w[i].rho, w[i].vel.x, w[i].vel.y, w[i].vel.z,
-                            w[i].p, nut[i]};
-    for (int c = 0; c < 6; ++c)
-      q[std::size_t(c)] += phi[i][std::size_t(c)] *
-                           dot(grad[i][std::size_t(c)], d);
-    if (q[0] <= 0 || q[4] <= 0) return w[i];
-    nut_out = q[5];
-    return Prim{q[0], {q[1], q[2], q[3]}, q[4]};
-  };
-
-  // Edge loop: convective + viscous fluxes.
-  for_edges_colored(lvl, [&](std::size_t e) {
-    const auto [a, b] = lvl.edges[e];
-    const real_t area = lvl.edge_area[e];
-    if (area <= 0) return;
-    const Vec3& nh = lvl.edge_unit[e];
-
-    const Vec3& dab = lvl.edge_dab[e];
-    real_t nut_l, nut_r;
-    const Prim wl = reconstruct(std::size_t(a), dab, nut_l);
-    const Prim wr = reconstruct(std::size_t(b), -1.0 * dab, nut_r);
-    const euler::Cons flux = euler::numerical_flux(wl, wr, nh, opt_.flux);
-    const real_t mdot = flux[0] * area;
-    const real_t fnut = mdot * (mdot >= 0 ? nut_l : nut_r);
-    for (int c = 0; c < 5; ++c) {
-      res[std::size_t(a)][std::size_t(c)] += area * flux[std::size_t(c)];
-      res[std::size_t(b)][std::size_t(c)] -= area * flux[std::size_t(c)];
-    }
-    res[std::size_t(a)][5] += fnut;
-    res[std::size_t(b)][5] -= fnut;
-
-    if (opt_.viscous && lvl.edge_length[e] > 0) {
-      const real_t geo = area / lvl.edge_length[e];
-      const real_t mu_m = mu_lam_ + 0.5 * (mut[std::size_t(a)] + mut[std::size_t(b)]);
-      const real_t cm = mu_m * geo;
-      const Vec3 dvel = w[std::size_t(b)].vel - w[std::size_t(a)].vel;
-      res[std::size_t(a)][1] -= cm * dvel.x;
-      res[std::size_t(a)][2] -= cm * dvel.y;
-      res[std::size_t(a)][3] -= cm * dvel.z;
-      res[std::size_t(b)][1] += cm * dvel.x;
-      res[std::size_t(b)][2] += cm * dvel.y;
-      res[std::size_t(b)][3] += cm * dvel.z;
-      // Shear work + conduction lumped into an energy Laplacian with the
-      // thermal coefficient (thin-layer approximation).
-      const real_t ck = (mu_lam_ / kPrandtl +
-                         0.5 * (mut[std::size_t(a)] + mut[std::size_t(b)]) / kPrandtlTurb) *
-                        euler::kGamma / (euler::kGamma - 1) * geo;
-      const real_t dT = w[std::size_t(b)].p / w[std::size_t(b)].rho -
-                        w[std::size_t(a)].p / w[std::size_t(a)].rho;
-      // Mean kinetic-energy transport by shear.
-      const Vec3 vm = 0.5 * (w[std::size_t(a)].vel + w[std::size_t(b)].vel);
-      const real_t dke = dot(vm, dvel);
-      res[std::size_t(a)][4] -= ck * dT + cm * dke;
-      res[std::size_t(b)][4] += ck * dT + cm * dke;
-      // SA diffusion: (1/sigma) rho (nu + nu~) grad nu~.
-      const real_t rho_m = 0.5 * (w[std::size_t(a)].rho + w[std::size_t(b)].rho);
-      const real_t nu_m = mu_lam_ / rho_m;
-      const real_t nut_m = 0.5 * (nut[std::size_t(a)] + nut[std::size_t(b)]);
-      const real_t cs = rho_m * (nu_m + std::max<real_t>(nut_m, 0)) / kSigma * geo;
-      const real_t dnt = nut[std::size_t(b)] - nut[std::size_t(a)];
-      res[std::size_t(a)][5] -= cs * dnt;
-      res[std::size_t(b)][5] += cs * dnt;
-    }
-  });
-
-  // Boundary closures.
-  for_nodes(n, [&](std::size_t i) {
-    const Vec3& fn =
-        lvl.boundary_normal[i][std::size_t(mesh::BoundaryTag::Farfield)];
-    const real_t fa = norm(fn);
-    if (fa > 0) {
-      const Vec3 nh = fn / fa;
-      const euler::Cons flux =
-          euler::farfield_flux(w[i], freestream_, nh, opt_.flux);
-      for (int c = 0; c < 5; ++c)
-        res[i][std::size_t(c)] += fa * flux[std::size_t(c)];
-      const real_t mdot = flux[0] * fa;
-      res[i][5] += mdot * (mdot >= 0 ? nut[i] : nut_inf_);
-    }
-    for (mesh::BoundaryTag tag :
-         {mesh::BoundaryTag::Wall, mesh::BoundaryTag::Symmetry}) {
-      const Vec3& bn = lvl.boundary_normal[i][std::size_t(tag)];
-      if (dot(bn, bn) > 0) {
-        const euler::Cons flux = euler::wall_flux(w[i], bn);
-        for (int c = 0; c < 5; ++c) res[i][std::size_t(c)] += flux[std::size_t(c)];
-      }
-    }
-  });
-
-  // Strongly-constrained components carry no residual: their equations are
-  // replaced by the Dirichlet projection (apply_strong_bcs). Leaving them
-  // in would poison the FAS coarse-grid forcing with residuals the fine
-  // grid never drives to zero.
-  if (l == 0) {
-    for_nodes(n, [&](std::size_t i) {
-      if (opt_.viscous && lvl.is_wall_node(index_t(i))) {
-        res[i][1] = res[i][2] = res[i][3] = 0;
-        res[i][5] = 0;
-        return;
-      }
-      const Vec3& sn =
-          lvl.boundary_normal[i][std::size_t(mesh::BoundaryTag::Symmetry)];
-      const real_t s2 = dot(sn, sn);
-      if (s2 > 0) {
-        const Vec3 nh = sn / std::sqrt(s2);
-        Vec3 rm{res[i][1], res[i][2], res[i][3]};
-        rm -= dot(rm, nh) * nh;
-        res[i][1] = rm.x;
-        res[i][2] = rm.y;
-        res[i][3] = rm.z;
-      }
-    });
-  }
-
-  // SA source terms (production - destruction), volume-scaled.
-  if (opt_.viscous) {
-    for_nodes(n, [&](std::size_t i) {
-      const real_t d = std::max(lvl.wall_distance[i], real_t(1e-8));
-      const real_t nu = mu_lam_ / w[i].rho;
-      const real_t nt = std::max<real_t>(nut[i], 0);
-      // Vorticity magnitude from the Green-Gauss velocity gradients.
-      const Vec3 gx = grad[i][1], gy = grad[i][2], gz = grad[i][3];
-      const Vec3 omega{gz.y - gy.z, gx.z - gz.x, gy.x - gx.y};
-      const real_t s = norm(omega);
-      const real_t chi = nt / nu;
-      const real_t chi3 = chi * chi * chi;
-      const real_t fv1 = chi3 / (chi3 + kCv1 * kCv1 * kCv1);
-      const real_t fv2 = 1.0 - chi / (1.0 + chi * fv1);
-      const real_t k2d2 = kKappa * kKappa * d * d;
-      real_t stilde = s + nt / k2d2 * fv2;
-      stilde = std::max(stilde, real_t(0.3) * s);
-      const real_t prod = kCb1 * stilde * w[i].rho * nt;
-      real_t r = stilde > 0 ? nt / (stilde * k2d2) : 10.0;
-      r = std::min(r, real_t(10.0));
-      const real_t g = r + kCw2 * (std::pow(r, 6) - r);
-      const real_t c6 = std::pow(kCw3, 6);
-      const real_t fw = g * std::pow((1.0 + c6) / (std::pow(g, 6) + c6),
-                                     1.0 / 6.0);
-      const real_t destr = kCw1 * fw * w[i].rho * (nt / d) * (nt / d);
-      res[i][5] += lvl.node_volume[i] * (destr - prod);
-    });
-  }
+  kernels::residual(levels_[std::size_t(l)], phys_, l, u, second_order,
+                    work_[std::size_t(l)].k, res);
 }
 
 void Nsu3dSolver::smooth(int l, int steps) {
@@ -423,220 +120,24 @@ void Nsu3dSolver::smooth(int l, int steps) {
   Workspace& ws = work_[std::size_t(l)];
   std::vector<State>& u = state_[std::size_t(l)];
   const std::vector<State>& f = forcing_[std::size_t(l)];
-  const std::size_t n = std::size_t(lvl.num_nodes);
   const bool second = opt_.second_order && l == 0;
   const bool lines = opt_.smoother == SmootherKind::LineImplicit;
-  smp::ThreadPool& pool = smp::ThreadPool::global();
 
   for (int step = 0; step < steps; ++step) {
     compute_residual(l, u, residual_[std::size_t(l)], second);
     std::vector<State>& r = residual_[std::size_t(l)];
-
-    // Primitive cache + wave-speed sums for local time steps (the cache
-    // in ws was just refreshed by compute_residual from the same u).
-    auto& w = ws.w;
-    auto& nut = ws.nut;
-    auto& mut = ws.mut;
-    ws.wave.assign(n, 0.0);
-    auto& wave = ws.wave;
-    for_edges_colored(lvl, [&](std::size_t e) {
-      const auto [a, b] = lvl.edges[e];
-      const real_t area = lvl.edge_area[e];
-      if (area <= 0) return;
-      const Vec3& nh = lvl.edge_unit[e];
-      wave[std::size_t(a)] += euler::spectral_radius(w[std::size_t(a)], nh) * area;
-      wave[std::size_t(b)] += euler::spectral_radius(w[std::size_t(b)], nh) * area;
-      if (opt_.viscous && lvl.edge_length[e] > 0) {
-        const real_t c =
-            (mu_lam_ + 0.5 * (mut[std::size_t(a)] + mut[std::size_t(b)])) *
-            area / lvl.edge_length[e];
-        wave[std::size_t(a)] += c / w[std::size_t(a)].rho;
-        wave[std::size_t(b)] += c / w[std::size_t(b)].rho;
-      }
-    });
-    for_nodes(n, [&](std::size_t i) {
-      Vec3 bn{};
-      for (const Vec3& t : lvl.boundary_normal[i]) bn += t;
-      const real_t ba = norm(bn);
-      if (ba > 0) wave[i] += euler::spectral_radius(w[i], bn / ba) * ba;
-    });
-
-    // Diagonal 6x6 blocks.
-    ws.diag.resize(n);
-    auto& diag = ws.diag;
-    for_nodes(n, [&](std::size_t i) {
-      const real_t dt = wave[i] > 0
-                            ? opt_.cfl * lvl.node_volume[i] / wave[i]
-                            : 1e30;
-      diag[i] = BlockMat<6>::diagonal(lvl.node_volume[i] / dt);
-    });
-    for_edges_colored(lvl, [&](std::size_t e) {
-      const auto [a, b] = lvl.edges[e];
-      const real_t area = lvl.edge_area[e];
-      if (area <= 0) return;
-      const Vec3& nh = lvl.edge_unit[e];
-      const real_t lam_a = euler::spectral_radius(w[std::size_t(a)], nh) * area;
-      const real_t lam_b = euler::spectral_radius(w[std::size_t(b)], nh) * area;
-      // dR_a/du_a += 0.5 (A(w_a, +n) + lambda I); likewise for b with -n.
-      const BlockMat<5> ja =
-          euler::flux_jacobian(w[std::size_t(a)], lvl.edge_normal[e]);
-      const BlockMat<5> jb =
-          euler::flux_jacobian(w[std::size_t(b)], -1.0 * lvl.edge_normal[e]);
-      for (int rr = 0; rr < 5; ++rr)
-        for (int cc = 0; cc < 5; ++cc) {
-          diag[std::size_t(a)](rr, cc) += 0.5 * ja(rr, cc);
-          diag[std::size_t(b)](rr, cc) += 0.5 * jb(rr, cc);
-        }
-      for (int rr = 0; rr < 5; ++rr) {
-        diag[std::size_t(a)](rr, rr) += 0.5 * lam_a;
-        diag[std::size_t(b)](rr, rr) += 0.5 * lam_b;
-      }
-      diag[std::size_t(a)](5, 5) += 0.5 * lam_a;
-      diag[std::size_t(b)](5, 5) += 0.5 * lam_b;
-      if (opt_.viscous && lvl.edge_length[e] > 0) {
-        const real_t geo = area / lvl.edge_length[e];
-        const real_t cm =
-            (mu_lam_ + 0.5 * (mut[std::size_t(a)] + mut[std::size_t(b)])) * geo;
-        const real_t cs = (mu_lam_ + 0.5 * (u[std::size_t(a)][5] + u[std::size_t(b)][5])) /
-                          kSigma * geo;
-        for (std::size_t s2 : {std::size_t(a), std::size_t(b)}) {
-          for (int rr = 1; rr <= 4; ++rr) diag[s2](rr, rr) += cm;
-          diag[s2](5, 5) += cs;
-        }
-      }
-    });
-    // Farfield linearization keeps boundary nodes well conditioned.
-    for_nodes(n, [&](std::size_t i) {
-      Vec3 bn{};
-      for (const Vec3& t : lvl.boundary_normal[i]) bn += t;
-      const real_t ba = norm(bn);
-      if (ba > 0) {
-        const real_t lam = euler::spectral_radius(w[i], bn / ba) * ba;
-        for (int rr = 0; rr < 6; ++rr) diag[i](rr, rr) += 0.5 * lam;
-      }
-    });
-
-    auto rhs_of = [&](std::size_t i) {
-      BlockVec<6> rhs;
-      for (int c = 0; c < 6; ++c)
-        rhs[c] = f[i][std::size_t(c)] - r[i][std::size_t(c)];
-      return rhs;
-    };
-    auto apply_update = [&](std::size_t i, const BlockVec<6>& du) {
-      State unew = u[i];
-      for (int c = 0; c < 6; ++c)
-        unew[std::size_t(c)] += opt_.relax * du[c];
-      unew[5] = std::max<real_t>(unew[5], 0);
-      if (state_valid(unew)) u[i] = unew;
-    };
-
-    if (!lines) {
-      for_nodes(n, [&](std::size_t i) {
-        BlockLU<6> lu;
-        if (!lu.factor_status(diag[i])) {
-          // Singular point: skip the update (explicit fallback) but make
-          // the event visible instead of silently dropping it.
-          OBS_COUNT("resil.singular_pivot", 1);
-          return;
-        }
-        apply_update(i, lu.solve(rhs_of(i)));
-      });
-    } else {
-      // Block-tridiagonal solve along each implicit line; off-line
-      // couplings stay explicit (Jacobi) as in the paper's scheme. Lines
-      // are node-disjoint, so they solve in parallel; each pool thread
-      // uses its own factorization scratch.
-      if (ws.line_scratch.size() < std::size_t(pool.num_threads()))
-        ws.line_scratch.resize(std::size_t(pool.num_threads()));
-      const auto& all_lines = lvl.lines.lines;
-      OBS_COUNT("nsu3d.line_solves", all_lines.size());
-      pool.parallel_for(0, all_lines.size(), kLineGrain,
-                        [&](std::size_t lb, std::size_t le, int tid) {
-        Workspace::LineScratch& ls = ws.line_scratch[std::size_t(tid)];
-        for (std::size_t li = lb; li < le; ++li) {
-        const auto& line = all_lines[li];
-        const std::size_t len = line.size();
-        ls.lower.assign(len, BlockMat<6>{});
-        ls.dd.assign(len, BlockMat<6>{});
-        ls.upper.assign(len, BlockMat<6>{});
-        ls.rhs.assign(len, BlockVec<6>{});
-        auto& lower = ls.lower;
-        auto& dd = ls.dd;
-        auto& upper = ls.upper;
-        auto& rhs = ls.rhs;
-        for (std::size_t k = 0; k < len; ++k) {
-          const std::size_t i = std::size_t(line[k]);
-          dd[k] = diag[i];
-          rhs[k] = rhs_of(i);
-        }
-        // Off-diagonal blocks for consecutive line nodes.
-        for (std::size_t k = 0; k + 1 < len; ++k) {
-          const index_t i = line[k];
-          const index_t j = line[k + 1];
-          // Locate the edge (i, j).
-          for (const auto& [eid, sgn] : lvl.incident[std::size_t(i)]) {
-            const auto [ea, eb] = lvl.edges[std::size_t(eid)];
-            const index_t other = ea == i ? eb : ea;
-            if (other != j) continue;
-            const Vec3 n_out = sgn * lvl.edge_normal[std::size_t(eid)];
-            const real_t area = lvl.edge_area[std::size_t(eid)];
-            if (area <= 0) break;
-            const Vec3 nh = n_out / area;
-            // dR_i/du_j = 0.5 (A(w_j, n_out) - lambda_j I).
-            const BlockMat<5> jj = euler::flux_jacobian(w[std::size_t(j)], n_out);
-            const real_t lam = euler::spectral_radius(w[std::size_t(j)], nh) * area;
-            BlockMat<6> off;
-            for (int rr = 0; rr < 5; ++rr) {
-              for (int cc = 0; cc < 5; ++cc) off(rr, cc) = 0.5 * jj(rr, cc);
-              off(rr, rr) -= 0.5 * lam;
-            }
-            off(5, 5) -= 0.5 * lam;
-            if (opt_.viscous && lvl.edge_length[std::size_t(eid)] > 0) {
-              const real_t geo = area / lvl.edge_length[std::size_t(eid)];
-              const real_t cm = (mu_lam_ + 0.5 * (mut[std::size_t(i)] +
-                                                  mut[std::size_t(j)])) * geo;
-              for (int rr = 1; rr <= 4; ++rr) off(rr, rr) -= cm;
-              off(5, 5) -= (mu_lam_ +
-                            0.5 * (u[std::size_t(i)][5] + u[std::size_t(j)][5])) /
-                           kSigma * geo;
-            }
-            upper[k] = off;
-            // dR_j/du_i: mirrored with w_i and the opposite normal.
-            const BlockMat<5> ji =
-                euler::flux_jacobian(w[std::size_t(i)], -1.0 * n_out);
-            const real_t lam_i =
-                euler::spectral_radius(w[std::size_t(i)], nh) * area;
-            BlockMat<6> offl;
-            for (int rr = 0; rr < 5; ++rr) {
-              for (int cc = 0; cc < 5; ++cc) offl(rr, cc) = 0.5 * ji(rr, cc);
-              offl(rr, rr) -= 0.5 * lam_i;
-            }
-            offl(5, 5) -= 0.5 * lam_i;
-            if (opt_.viscous && lvl.edge_length[std::size_t(eid)] > 0) {
-              const real_t geo = area / lvl.edge_length[std::size_t(eid)];
-              const real_t cm = (mu_lam_ + 0.5 * (mut[std::size_t(i)] +
-                                                  mut[std::size_t(j)])) * geo;
-              for (int rr = 1; rr <= 4; ++rr) offl(rr, rr) -= cm;
-              offl(5, 5) -= (mu_lam_ +
-                             0.5 * (u[std::size_t(i)][5] + u[std::size_t(j)][5])) /
-                            kSigma * geo;
-            }
-            lower[k + 1] = offl;
-            break;
-          }
-        }
-        if (!linalg::solve_block_tridiag_status<6>(lower, dd, upper, rhs)) {
-          OBS_COUNT("resil.singular_pivot", 1);
-          continue;
-        }
-        for (std::size_t k = 0; k < len; ++k)
-          apply_update(std::size_t(line[k]), rhs[k]);
-        }
-      });
-    }
+    // The primitive/SoA caches in ws.k were just refreshed by
+    // compute_residual from the same u.
+    kernels::wave_speeds(lvl, phys_, ws.k);
+    kernels::assemble_diag(lvl, phys_, opt_.cfl, u, ws.k);
+    if (!lines)
+      kernels::point_sweep(lvl, opt_.relax, f, r, ws.k, u);
+    else
+      kernels::line_sweep(lvl, phys_, opt_.relax, f, r, ws.k, u);
     apply_strong_bcs(l, u);
   }
 }
+
 
 void Nsu3dSolver::restrict_to(int l) {
   const Level& fine = levels_[std::size_t(l)];

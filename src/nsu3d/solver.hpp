@@ -18,6 +18,7 @@
 #include "euler/flux.hpp"
 #include "euler/state.hpp"
 #include "linalg/block.hpp"
+#include "nsu3d/kernels.hpp"
 #include "nsu3d/level.hpp"
 #include "resil/checkpoint.hpp"
 #include "resil/guard.hpp"
@@ -122,24 +123,19 @@ class Nsu3dSolver {
   std::vector<std::vector<State>> restricted_snapshot_;
 
   /// Persistent per-level scratch: steady-state cycles perform no heap
-  /// allocation (vectors keep their capacity across sweeps).
+  /// allocation (vectors keep their capacity across sweeps). The hot
+  /// per-node fields live in the SoA kernel scratch (nsu3d/kernels.hpp).
   struct Workspace {
-    std::vector<euler::Prim> w;           // primitive cache
-    std::vector<real_t> nut, mut, wave;   // SA variable, eddy visc, |lambda|A
-    std::vector<std::array<geom::Vec3, 6>> grad;
-    std::vector<std::array<real_t, 6>> phi, qmin, qmax;
-    std::vector<linalg::BlockMat<6>> diag;
-    /// Block-tridiagonal line solve scratch, one slot per pool thread.
-    struct LineScratch {
-      std::vector<linalg::BlockMat<6>> lower, dd, upper;
-      std::vector<linalg::BlockVec<6>> rhs;
-    };
-    std::vector<LineScratch> line_scratch;
+    kernels::Scratch k;
     // Restriction scratch (coarse-level sized).
     std::vector<real_t> vol;
     std::vector<State> transferred;
   };
   std::vector<Workspace> work_;
+
+  /// Physical constants handed to the kernel layer (built once in the
+  /// constructor from the options and flow conditions).
+  kernels::Physics phys_;
 
   /// Cycle orchestration (level walk, convergence loop, guard wiring,
   /// telemetry, fault hooks) lives in the shared driver; this class keeps

@@ -20,6 +20,8 @@
 #include "bench_util.hpp"
 #include "core/exchange_plan.hpp"
 #include "nsu3d/partitioned.hpp"
+#include "obs/comm_report.hpp"
+#include "obs/obs.hpp"
 #include "smp/hybrid.hpp"
 #include "support/timer.hpp"
 
@@ -183,6 +185,42 @@ int main(int argc, char** argv) {
   }
   pt.print();
   rep.table("plan_vs_legacy", pt);
+
+  // Comm observatory: wait-state cost per exchange, per strategy. This
+  // pass runs with span recording ON (the timing/alloc passes above run
+  // obs-off, so instrumentation overhead never contaminates those rows).
+  // "wait/exchange (us)" is Timing-gated by the perf gate; "messages" is
+  // exact. Table exists only when observability is compiled in, matching
+  // the build that produced the committed baseline.
+  if (obs::kCompiledIn) {
+    Table ct({"strategy", "messages", "wait/exchange (us)", "late-send %",
+              "retransmits"});
+    for (const Config& cfg : configs) {
+      core::ExchangePlanOptions opt = cfg.opt;
+      opt.level = 0;
+      core::ExchangePlan xplan(requests, opt);
+      xplan.exchange(data);  // warm-up (first-use obs registries)
+      obs::reset_trace();
+      obs::set_enabled(true);
+      for (int e = 0; e < kExchanges; ++e) xplan.exchange(data);
+      obs::set_enabled(false);
+      const obs::CommReport cr =
+          obs::build_comm_report(obs::phase_events_since());
+      std::uint64_t msgs = 0;
+      for (const obs::CommGroup& g : cr.groups) msgs += g.messages;
+      char name[96];
+      std::snprintf(name, sizeof(name), "plan %s", cfg.name);
+      ct.add_row(
+          {name, std::to_string(msgs / std::uint64_t(kExchanges)),
+           Table::num(cr.wait_s * 1e6 / kExchanges, 2),
+           Table::num(cr.wait_s > 0 ? 100.0 * cr.late_sender_s / cr.wait_s : 0.0,
+                      1),
+           std::to_string(cr.retransmits)});
+      obs::reset_trace();
+    }
+    ct.print();
+    rep.table("comm_observatory", ct);
+  }
 
   std::printf(
       "\npaper shape check: the master-thread strategy issues far fewer,\n"

@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 
 #include "geom/components.hpp"
 #include "obs/json.hpp"
@@ -11,6 +11,7 @@
 #include "obs/trace.hpp"
 #include "smp/pool.hpp"
 #include "support/build_info.hpp"
+#include "support/durable.hpp"
 
 namespace columbia::bench {
 
@@ -47,11 +48,10 @@ void Reporter::table(const std::string& series, const Table& t) {
 
 Reporter::~Reporter() {
   if (!active()) return;
-  std::ofstream os(path_);
-  if (!os) {
-    std::fprintf(stderr, "reporter: cannot open %s\n", path_.c_str());
-    return;
-  }
+  // Render the whole document in memory and land it tmp+rename (same
+  // durability discipline as resil::checkpoint): an aborted run can never
+  // leave a truncated JSON for the perf gate to choke on.
+  std::ostringstream os;
   obs::JsonWriter w(os);
   w.begin_object();
   w.kv("bench", name_);
@@ -108,6 +108,10 @@ Reporter::~Reporter() {
   }
   w.end_object();
   os << "\n";
+  if (!support::durable_write_file(path_, os.str())) {
+    std::fprintf(stderr, "reporter: cannot write %s\n", path_.c_str());
+    return;
+  }
   std::printf("[reporter] wrote %s\n", path_.c_str());
 }
 

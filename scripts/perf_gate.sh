@@ -19,6 +19,10 @@
 # Thread-sweep rows the host cannot run (threads > hardware threads) are
 # skipped inside columbia_report with an explicit reason rather than failed
 # — the CI container has a single hardware thread (see ROADMAP.md).
+#
+# BENCH_comm.json also carries the comm-observatory rows ("wait/exchange
+# (us)", measured with span recording on): those are Timing-gated like the
+# other wall-clock columns, while per-exchange "messages" stays exact.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "smp/pool.hpp"
 #include "support/assert.hpp"
 
@@ -156,6 +157,10 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
   std::vector<std::vector<Cons>> res_of(np);
   smp::ThreadPool::global().parallel_for(
       0, np, 1, [&](std::size_t pb, std::size_t pe, int) {
+        // Level-tagged interior compute for the overlap-headroom analyzer
+        // (paired against halo.xchg waits on the same level).
+        OBS_SPAN("cart3d.partitioned.compute", "level",
+                 std::int64_t(comm.level));
         for (std::size_t mep = pb; mep < pe; ++mep) {
           const index_t me = index_t(mep);
           std::vector<Cons> ghost(n, Cons{});  // sparse by construction

@@ -88,37 +88,77 @@ ExchangePlan::ExchangePlan(RequestLists requests, ExchangePlanOptions options)
 
 void ExchangePlan::transmit(Channel& ch, std::uint64_t seq) {
   resil::FaultInjector& inj = resil::FaultInjector::global();
+  // halo.xchg span attributes: each attempt records exactly one post span
+  // (sender side) and one wait span (receiver side), so the observatory's
+  // k-th-post-to-k-th-wait matching survives retransmitted attempts. The
+  // plan runs both sides on the calling thread, so "wait" here is the
+  // validation cost, not a blocking mailbox wait (smp::hybrid records the
+  // genuine blocking flavor).
+  const std::int64_t sender = std::int64_t(ch.sender);
+  const std::int64_t receiver = std::int64_t(ch.receiver);
+  const std::int64_t lvl = opt_.level;
+  const std::int64_t strat = strategy_id(opt_.strategy);
+  const std::int64_t bytes = std::int64_t(ch.pack.size() * sizeof(real_t));
   for (int attempt = 0;; ++attempt) {
-    resil::frame_payload_into(ch.payload, ch.frame);
     bool faulted = false;
-    if (inj.armed() && attempt + 1 < kMaxHaloAttempts) {
-      const std::uint64_t site =
-          resil::halo_site(seq, std::uint64_t(ch.sender),
-                           std::uint64_t(ch.receiver), std::uint64_t(attempt));
-      if (inj.should_inject(resil::FaultKind::HaloDrop, site)) {
-        resil::drop_frame(ch.frame);
-        faulted = true;
-      } else if (inj.should_inject(resil::FaultKind::HaloCorrupt, site)) {
-        resil::corrupt_frame(ch.frame, site);
-        faulted = true;
+    {
+      obs::SpanGuard post("halo.xchg.post", {{"rank", sender},
+                                             {"nbr", receiver},
+                                             {"level", lvl},
+                                             {"strat", strat},
+                                             {"bytes", bytes}});
+      resil::frame_payload_into(ch.payload, ch.frame);
+      if (inj.armed() && attempt + 1 < kMaxHaloAttempts) {
+        const std::uint64_t site = resil::halo_site(
+            seq, std::uint64_t(ch.sender), std::uint64_t(ch.receiver),
+            std::uint64_t(attempt));
+        if (inj.should_inject(resil::FaultKind::HaloDrop, site)) {
+          resil::drop_frame(ch.frame);
+          faulted = true;
+        } else if (inj.should_inject(resil::FaultKind::HaloCorrupt, site)) {
+          resil::corrupt_frame(ch.frame, site);
+          faulted = true;
+        }
       }
+      stats_.messages += 1;
+      stats_.bytes += ch.frame.size() * sizeof(real_t);
     }
-    stats_.messages += 1;
-    stats_.bytes += ch.frame.size() * sizeof(real_t);
     if (faulted) {
       stats_.retransmits += 1;
       OBS_COUNT("resil.halo.retransmits", 1);
+      {
+        obs::SpanGuard rt("halo.xchg.retransmit", {{"rank", sender},
+                                                   {"nbr", receiver},
+                                                   {"level", lvl},
+                                                   {"strat", strat},
+                                                   {"bytes", bytes}});
+      }
       // The receiver validates the frame and rejects it (corrupt_frame is
       // a no-op on empty payloads; such a frame still validates and is
       // delivered, ending the attempt loop early).
-      if (!resil::unframe_payload(ch.frame, ch.recv)) {
+      bool ok;
+      {
+        obs::SpanGuard wait("halo.xchg.wait", {{"rank", receiver},
+                                               {"nbr", sender},
+                                               {"level", lvl},
+                                               {"strat", strat}});
+        ok = resil::unframe_payload(ch.frame, ch.recv);
+      }
+      if (!ok) {
         stats_.rejected += 1;
         OBS_COUNT("resil.halo.rejected", 1);
         continue;
       }
       return;
     }
-    const bool ok = resil::unframe_payload(ch.frame, ch.recv);
+    bool ok;
+    {
+      obs::SpanGuard wait("halo.xchg.wait", {{"rank", receiver},
+                                             {"nbr", sender},
+                                             {"level", lvl},
+                                             {"strat", strat}});
+      ok = resil::unframe_payload(ch.frame, ch.recv);
+    }
     COLUMBIA_REQUIRE(ok);
     return;
   }
@@ -138,14 +178,34 @@ const PartitionData& ExchangePlan::exchange(const PartitionData& data) {
 
   // One framed message per directed rank pair: gather, transmit (with the
   // retransmit protocol), scatter to the request slots.
+  const std::int64_t lvl = opt_.level;
+  const std::int64_t strat = strategy_id(opt_.strategy);
   for (Channel& ch : channels_) {
-    for (std::size_t i = 0; i < ch.pack.size(); ++i)
-      ch.payload[i] =
-          data[std::size_t(ch.pack[i].part)][std::size_t(ch.pack[i].item)];
+    {
+      obs::SpanGuard pack("halo.xchg.pack",
+                          {{"rank", std::int64_t(ch.sender)},
+                           {"nbr", std::int64_t(ch.receiver)},
+                           {"level", lvl},
+                           {"strat", strat},
+                           {"bytes",
+                            std::int64_t(ch.pack.size() * sizeof(real_t))}});
+      for (std::size_t i = 0; i < ch.pack.size(); ++i)
+        ch.payload[i] =
+            data[std::size_t(ch.pack[i].part)][std::size_t(ch.pack[i].item)];
+    }
     transmit(ch, seq);
-    for (std::size_t i = 0; i < ch.unpack.size(); ++i)
-      out_[std::size_t(ch.unpack[i].part)][std::size_t(ch.unpack[i].pos)] =
-          ch.recv[i];
+    {
+      obs::SpanGuard unpack(
+          "halo.xchg.unpack",
+          {{"rank", std::int64_t(ch.receiver)},
+           {"nbr", std::int64_t(ch.sender)},
+           {"level", lvl},
+           {"strat", strat},
+           {"bytes", std::int64_t(ch.unpack.size() * sizeof(real_t))}});
+      for (std::size_t i = 0; i < ch.unpack.size(); ++i)
+        out_[std::size_t(ch.unpack[i].part)][std::size_t(ch.unpack[i].pos)] =
+            ch.recv[i];
+    }
   }
 
   stats_.exchanges += 1;

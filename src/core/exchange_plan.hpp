@@ -41,7 +41,16 @@ struct ExchangePlanOptions {
   /// Partitions per process (MasterThread only; must divide the partition
   /// count). ThreadToThread behaves as threads_per_process == 1.
   int threads_per_process = 1;
+  /// Multigrid level tag stamped on the plan's halo.xchg spans so the comm
+  /// observatory can attribute waits per level; -1 = untagged.
+  int level = -1;
 };
+
+/// Stable strategy id used as the "strat" span attribute (0 = t2t,
+/// 1 = master) — the comm observatory's grouping key.
+inline int strategy_id(ExchangeStrategy s) {
+  return s == ExchangeStrategy::MasterThread ? 1 : 0;
+}
 
 /// Cumulative transport counters across all exchanges of one plan. The
 /// plan moves values by direct copy rather than through smp mailboxes, so

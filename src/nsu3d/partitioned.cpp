@@ -8,6 +8,7 @@
 #include "graph/agglomerate.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition.hpp"
+#include "obs/obs.hpp"
 #include "smp/pool.hpp"
 #include "support/assert.hpp"
 
@@ -242,6 +243,11 @@ std::vector<State> parallel_residual(const Level& lvl,
   std::vector<std::vector<State>> res_of(np);
   smp::ThreadPool::global().parallel_for(
       0, np, 1, [&](std::size_t pb, std::size_t pe, int) {
+        // Level-tagged interior compute: the comm observatory's overlap
+        // analyzer measures this span against the halo.xchg waits on the
+        // same level to report coverable headroom.
+        OBS_SPAN("nsu3d.partitioned.compute", "level",
+                 std::int64_t(comm.level));
         for (std::size_t mep = pb; mep < pe; ++mep) {
           const index_t me = index_t(mep);
           std::vector<State> ghost(n, State{});  // sparse by construction

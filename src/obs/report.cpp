@@ -8,9 +8,12 @@
 #include <map>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 
+#include "obs/comm_report.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "support/durable.hpp"
 #include "support/timer.hpp"
 
 namespace columbia::obs {
@@ -74,6 +77,7 @@ PhaseProfile build_profile(const std::vector<PhaseEvent>& events) {
   std::map<Key, Accum> accum;
   std::map<int, double> comm_thread_s;
   std::map<std::int64_t, Accum> level_accum;
+  std::map<std::int64_t, double> level_comm_s;
 
   for (const auto& [tid, evs] : per_tid) {
     if (evs.empty()) continue;
@@ -107,6 +111,7 @@ PhaseProfile build_profile(const std::vector<PhaseEvent>& events) {
         Accum& la = level_accum[f.level];
         la.instances_s.push_back(excl_s);
         la.thread_s[tid] += excl_s;
+        if (is_comm_phase(*f.name)) level_comm_s[f.level] += excl_s;
       }
     }
   }
@@ -143,6 +148,8 @@ PhaseProfile build_profile(const std::vector<PhaseEvent>& events) {
     ls.calls = a.instances_s.size();
     for (double x : a.instances_s) ls.total_s += x;
     ls.imbalance = imbalance_of(a.thread_s);
+    const auto it = level_comm_s.find(level);
+    ls.comm_s = it != level_comm_s.end() ? it->second : 0;
     out.levels.push_back(ls);
   }
 
@@ -180,7 +187,7 @@ CommTotals comm_counter_totals() {
 
 }  // namespace
 
-PhaseProfile current_profile(std::uint64_t min_ts_ns) {
+std::vector<PhaseEvent> phase_events_since(std::uint64_t min_ts_ns) {
   const std::vector<TraceEvent> snap = trace_snapshot();
   std::uint64_t epoch = ~std::uint64_t(0);
   for (const TraceEvent& e : snap)
@@ -194,12 +201,20 @@ PhaseProfile current_profile(std::uint64_t min_ts_ns) {
     pe.phase = e.phase;
     pe.ts_us = double(e.ts_ns - epoch) / 1e3;
     pe.tid = int(e.tid);
-    if (e.phase == 'B' && e.arg_name != nullptr &&
-        std::string(e.arg_name) == "level")
-      pe.level = e.arg_value;
+    if (e.phase == 'B') {
+      pe.level = e.arg_or("level", -1);
+      pe.rank = e.arg_or("rank", -1);
+      pe.nbr = e.arg_or("nbr", -1);
+      pe.strat = e.arg_or("strat", -1);
+      pe.bytes = e.arg_or("bytes", -1);
+    }
     events.push_back(std::move(pe));
   }
-  PhaseProfile p = build_profile(events);
+  return events;
+}
+
+PhaseProfile current_profile(std::uint64_t min_ts_ns) {
+  PhaseProfile p = build_profile(phase_events_since(min_ts_ns));
   const CommTotals t = comm_counter_totals();
   p.comm_exchanges = t.exchanges;
   p.comm_messages = t.messages;
@@ -222,14 +237,16 @@ Table profile_table(const PhaseProfile& p) {
 }
 
 Table level_table(const PhaseProfile& p) {
-  Table t({"level", "calls", "excl s", "share", "imbalance"});
+  // "comm s" rides at the end so older fixtures' pinned row prefixes keep
+  // matching; it is nonzero only when halo spans carried a level arg.
+  Table t({"level", "calls", "excl s", "share", "imbalance", "comm s"});
   double sum = 0;
   for (const LevelStats& l : p.levels) sum += l.total_s;
   for (const LevelStats& l : p.levels) {
     t.add_row({std::to_string(l.level), std::to_string(l.calls),
                Table::num(l.total_s, 4),
                Table::num(sum > 0 ? l.total_s / sum : 0, 3),
-               Table::num(l.imbalance, 2)});
+               Table::num(l.imbalance, 2), Table::num(l.comm_s, 4)});
   }
   return t;
 }
@@ -251,13 +268,13 @@ Table summary_table(const PhaseProfile& p) {
 }
 
 void write_profile_json(std::ostream& os, const std::string& name,
-                        const PhaseProfile& p) {
+                        const PhaseProfile& p, const CommReport* comm) {
   JsonWriter w(os);
-  write_profile_json_into(w, name, p);
+  write_profile_json_into(w, name, p, comm);
 }
 
 void write_profile_json_into(JsonWriter& w, const std::string& name,
-                             const PhaseProfile& p) {
+                             const PhaseProfile& p, const CommReport* comm) {
   w.begin_object();
   w.kv("solver", name);
   w.kv("wall_s", p.wall_s);
@@ -276,6 +293,10 @@ void write_profile_json_into(JsonWriter& w, const std::string& name,
   w.kv("bytes", p.comm_bytes);
   w.kv("retransmits", p.comm_retransmits);
   w.end_object();
+  if (comm != nullptr && !comm->empty()) {
+    w.key("comm_xchg");
+    write_comm_json_into(w, *comm);
+  }
   w.key("levels").begin_array();
   for (const LevelStats& l : p.levels) {
     w.begin_object();
@@ -283,6 +304,7 @@ void write_profile_json_into(JsonWriter& w, const std::string& name,
     w.kv("calls", l.calls);
     w.kv("seconds", l.total_s);
     w.kv("imbalance", l.imbalance);
+    w.kv("comm_s", l.comm_s);
     w.end_object();
   }
   w.end_array();
@@ -361,12 +383,16 @@ SolveReportScope::SolveReportScope(std::string name)
 
 SolveReportScope::~SolveReportScope() {
   if (!active_) return;
-  PhaseProfile p = current_profile(t0_ns_);
+  const std::vector<PhaseEvent> events = phase_events_since(t0_ns_);
   set_enabled(was_enabled_);
-  p.comm_exchanges -= std::min(p.comm_exchanges, c0_exchanges_);
-  p.comm_messages -= std::min(p.comm_messages, c0_messages_);
-  p.comm_bytes -= std::min(p.comm_bytes, c0_bytes_);
-  p.comm_retransmits -= std::min(p.comm_retransmits, c0_retransmits_);
+  PhaseProfile p = build_profile(events);
+  const CommTotals t = comm_counter_totals();
+  p.comm_exchanges = t.exchanges - std::min(t.exchanges, c0_exchanges_);
+  p.comm_messages = t.messages - std::min(t.messages, c0_messages_);
+  p.comm_bytes = t.bytes - std::min(t.bytes, c0_bytes_);
+  p.comm_retransmits =
+      t.retransmits - std::min(t.retransmits, c0_retransmits_);
+  const CommReport comm = build_comm_report(events);
 
   std::lock_guard<std::mutex> lock(report_mu());
   std::cerr << "== columbia report: " << name_ << " ==\n"
@@ -374,16 +400,22 @@ SolveReportScope::~SolveReportScope() {
   const Table lt = level_table(p);
   if (!lt.rows().empty()) std::cerr << lt.to_string();
   std::cerr << profile_table(p).to_string();
+  if (!comm.empty()) {
+    std::cerr << "-- comm observatory: wait matrix --\n"
+              << comm_wait_matrix_table(comm).to_string()
+              << "-- comm observatory: strategy rollup --\n"
+              << comm_strategy_table(comm).to_string();
+    if (!comm.levels.empty())
+      std::cerr << "-- comm observatory: overlap headroom --\n"
+                << comm_overlap_table(comm).to_string();
+  }
 
   if (!report_path().empty()) {
-    std::ofstream os(report_path(), std::ios::app);
-    if (os) {
-      write_profile_json(os, name_, p);
-      os << '\n';
-    } else {
+    std::ostringstream line;
+    write_profile_json(line, name_, p, &comm);
+    if (!support::durable_append_line(report_path(), line.str()))
       std::cerr << "columbia report: cannot append to " << report_path()
                 << '\n';
-    }
   }
 }
 

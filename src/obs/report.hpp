@@ -35,6 +35,11 @@ struct PhaseEvent {
   double ts_us = 0;         // relative timestamp, microseconds
   int tid = 0;
   std::int64_t level = -1;  // multigrid level from the span arg; -1 = none
+  // halo.xchg attributes (comm observatory); -1 when absent.
+  std::int64_t rank = -1;   // logical rank that recorded the span
+  std::int64_t nbr = -1;    // neighbor rank the message moves to/from
+  std::int64_t strat = -1;  // exchange strategy: 0 = t2t, 1 = master
+  std::int64_t bytes = -1;  // payload bytes (post/pack spans)
 };
 
 /// Exclusive-time statistics for one (phase, level) pair. `min/mean/p95/
@@ -59,6 +64,7 @@ struct LevelStats {
   std::uint64_t calls = 0;
   double total_s = 0;
   double imbalance = 1;  // max/mean of per-thread totals on this level
+  double comm_s = 0;     // exclusive halo.* share of total_s on this level
 };
 
 /// Whole-run rollup produced by build_profile().
@@ -94,6 +100,11 @@ bool is_comm_phase(const std::string& name);
 PhaseProfile build_profile(const std::vector<PhaseEvent>& events);
 
 /// Converts the live trace buffers into PhaseEvents, keeping only events
+/// with ts_ns >= min_ts_ns — the shared front half of current_profile()
+/// and the comm-observatory analyzer (obs/comm_report.hpp).
+std::vector<PhaseEvent> phase_events_since(std::uint64_t min_ts_ns = 0);
+
+/// Converts the live trace buffers into PhaseEvents, keeping only events
 /// with ts_ns >= min_ts_ns (so a solve can profile just its own window),
 /// then builds the profile and fills the transport totals from the
 /// "halo.*" counters.
@@ -111,17 +122,23 @@ Table level_table(const PhaseProfile& p);
 /// One-line-per-field summary (wall, busy, comm fraction, traffic).
 Table summary_table(const PhaseProfile& p);
 
+struct CommReport;  // obs/comm_report.hpp
+
 /// Writes the profile as one JSON object:
-/// {"solver", "wall_s", "busy_s", "comm": {...}, "phases": [...]}.
+/// {"solver", "wall_s", "busy_s", "comm": {...}, "phases": [...]}. When
+/// `comm` is non-null a "comm_xchg" object (wait matrix, late-sender/
+/// receiver split, overlap headroom) is appended.
 void write_profile_json(std::ostream& os, const std::string& name,
-                        const PhaseProfile& p);
+                        const PhaseProfile& p,
+                        const CommReport* comm = nullptr);
 
 class JsonWriter;
 
 /// Same object, emitted as the next value of an in-progress JsonWriter —
 /// lets bench::Reporter embed the profile inside its own document.
 void write_profile_json_into(JsonWriter& w, const std::string& name,
-                             const PhaseProfile& p);
+                             const PhaseProfile& p,
+                             const CommReport* comm = nullptr);
 
 // --- COLUMBIA_REPORT runtime switch -------------------------------------
 //

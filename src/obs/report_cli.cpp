@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/comm_report.hpp"
 #include "obs/json_parse.hpp"
 #include "obs/report.hpp"
 #include "support/build_info.hpp"
@@ -19,14 +20,22 @@ namespace {
 
 constexpr const char* kUsageText =
     "usage: columbia_report [options] FILE...\n"
+    "       columbia_report comm TRACE...\n"
     "\n"
     "  FILE               Chrome trace JSON (--trace / write_chrome_trace),\n"
     "                     convergence JSONL (--jsonl / open_jsonl), or a\n"
     "                     bench --json report (classified by content)\n"
+    "  comm TRACE...      communication observatory: per-rank wait-state\n"
+    "                     attribution from the traces' halo.xchg spans —\n"
+    "                     rank x neighbor wait matrix with late-sender /\n"
+    "                     late-receiver split, per-(level, strategy)\n"
+    "                     critical path, per-level overlap headroom and\n"
+    "                     coarse-level agglomeration advice (Figs. 16-19)\n"
     "  --baseline PATH    perf gate: compare the bench-report FILE against\n"
     "                     the committed baseline at PATH\n"
     "  --tolerance T      allowed timing slowdown for the gate: '10%', or\n"
     "                     a fraction like 0.1 (default 10%)\n"
+    "  --version          print the build provenance stamp and exit\n"
     "\n"
     "Traces: one file prints its phase profile (exclusive per-phase and\n"
     "per-level times, imbalance factors, communication fraction and halo\n"
@@ -38,7 +47,16 @@ struct Options {
   std::string baseline;
   double tolerance = 0.10;
   bool tolerance_set = false;
+  bool comm = false;
 };
+
+/// One-line provenance stamp (satellite of ISSUE 7): archived reports stay
+/// attributable to the build that produced them.
+std::string version_line() {
+  const BuildInfo& bi = build_info();
+  return std::string("columbia_report ") + bi.git_sha + " (" +
+         bi.build_type + ", obs " + (bi.obs_compiled ? "on" : "off") + ")";
+}
 
 bool parse_tolerance(const std::string& s, double& out) {
   if (s.empty()) return false;
@@ -75,6 +93,7 @@ struct TraceRun {
   std::int64_t threads = 0;  // from "columbia" metadata, else max tid + 1
   std::string git_sha;
   PhaseProfile profile;
+  std::vector<PhaseEvent> events;  // kept for the comm observatory
 };
 
 bool ingest_trace(const std::string& path, const JsonValue& doc,
@@ -98,12 +117,18 @@ bool ingest_trace(const std::string& path, const JsonValue& doc,
     pe.tid = int(e.number_or("tid", 0));
     max_tid = std::max(max_tid, std::int64_t(pe.tid));
     if (const JsonValue* args = e.find("args");
-        args != nullptr && args->is_object())
+        args != nullptr && args->is_object()) {
       pe.level = std::int64_t(args->number_or("level", -1));
+      pe.rank = std::int64_t(args->number_or("rank", -1));
+      pe.nbr = std::int64_t(args->number_or("nbr", -1));
+      pe.strat = std::int64_t(args->number_or("strat", -1));
+      pe.bytes = std::int64_t(args->number_or("bytes", -1));
+    }
     events.push_back(std::move(pe));
   }
   run.path = path;
   run.profile = build_profile(events);
+  run.events = std::move(events);
   if (const JsonValue* meta = doc.find("columbia");
       meta != nullptr && meta->is_object()) {
     run.threads = std::int64_t(meta->number_or("threads", 0));
@@ -145,6 +170,57 @@ void print_scaling_table(std::vector<TraceRun>& runs, std::ostream& out) {
                Table::num(speedup, 3), Table::num(ideal, 3),
                Table::num(ideal > 0 ? speedup / ideal : 0, 3),
                Table::num(r.profile.comm_fraction, 3), r.path});
+  }
+  out << t.to_string();
+}
+
+// --- comm observatory (halo.xchg spans) -----------------------------------
+
+void print_comm_run(const TraceRun& run, const CommReport& r,
+                    std::ostream& out) {
+  out << "== comm observatory: " << run.path << " (threads=" << run.threads;
+  if (!run.git_sha.empty()) out << ", git " << run.git_sha;
+  out << ") ==\n";
+  if (r.empty()) {
+    out << "no halo.xchg spans in trace (record with the comm observatory "
+           "instrumentation enabled)\n";
+    return;
+  }
+  Table s({"metric", "value"});
+  s.add_row({"ranks", std::to_string(r.ranks)});
+  s.add_row({"wait s", Table::num(r.wait_s, 6)});
+  s.add_row({"late-sender s", Table::num(r.late_sender_s, 6)});
+  s.add_row({"late-receiver s", Table::num(r.late_receiver_s, 6)});
+  s.add_row({"retransmits", std::to_string(r.retransmits)});
+  out << s.to_string();
+  out << "-- wait matrix (rank x neighbor) --\n"
+      << comm_wait_matrix_table(r).to_string();
+  out << "-- strategy rollup --\n" << comm_strategy_table(r).to_string();
+  if (!r.levels.empty())
+    out << "-- overlap headroom --\n" << comm_overlap_table(r).to_string();
+}
+
+/// Fig. 16-18-style cross-trace comparison: one row per (trace, level,
+/// strategy) so two runs of the same case under different strategies (or
+/// transports) line up.
+void print_comm_comparison(const std::vector<TraceRun>& runs,
+                           const std::vector<CommReport>& reports,
+                           std::ostream& out) {
+  out << "== strategy comparison (" << runs.size() << " traces) ==\n";
+  Table t({"trace", "level", "strategy", "msgs", "wait ms", "wait/msg (us)",
+           "crit path ms"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (const CommGroup& g : reports[i].groups) {
+      t.add_row({runs[i].path,
+                 g.level >= 0 ? std::to_string(g.level) : "-",
+                 strategy_name(g.strat), std::to_string(g.messages),
+                 Table::num(g.wait_s * 1e3, 3),
+                 Table::num(g.messages > 0
+                                ? g.wait_s * 1e6 / double(g.messages)
+                                : 0,
+                            3),
+                 Table::num(g.critical_path_s * 1e3, 3)});
+    }
   }
   out << t.to_string();
 }
@@ -210,7 +286,8 @@ enum class MetricKind { Timing, Count, Exact };
 /// How the gate treats a numeric field, by column/field name. Unknown
 /// fields are informational only.
 bool metric_kind_of(const std::string& name, MetricKind& kind) {
-  if (name == "ns_per_edge" || name == "exchange (us)") {
+  if (name == "ns_per_edge" || name == "exchange (us)" ||
+      name == "wait/exchange (us)") {
     kind = MetricKind::Timing;
     return true;
   }
@@ -392,6 +469,14 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       out << kUsageText;
       return kOk;
     }
+    if (a == "--version") {
+      out << version_line() << "\n";
+      return kOk;
+    }
+    if (a == "comm" && opt.files.empty() && !opt.comm) {
+      opt.comm = true;
+      continue;
+    }
     if (a == "--baseline") {
       if (i + 1 >= args.size()) {
         err << "columbia_report: --baseline needs a path\n";
@@ -421,6 +506,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     return kUsage;
   }
 
+  // Provenance header on every emitted report (satellite of ISSUE 7).
+  out << version_line() << "\n";
+
   std::vector<TraceRun> traces;
   for (const std::string& path : opt.files) {
     std::string text;
@@ -432,6 +520,11 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         if (!ingest_trace(path, doc, run, err)) return kUsage;
         traces.push_back(std::move(run));
         continue;
+      }
+      if (opt.comm) {
+        err << "columbia_report: " << path
+            << ": the comm subcommand wants Chrome trace files\n";
+        return kUsage;
       }
       if (doc.find("bench") != nullptr) {
         if (opt.baseline.empty()) {
@@ -445,6 +538,11 @@ int run(const std::vector<std::string>& args, std::ostream& out,
           << ": unrecognized JSON document (no traceEvents/bench)\n";
       return kUsage;
     }
+    if (opt.comm) {
+      err << "columbia_report: " << path
+          << ": the comm subcommand wants Chrome trace files\n";
+      return kUsage;
+    }
     // Not a single JSON value: try JSONL convergence records.
     std::string jerr;
     const std::vector<JsonValue> records = parse_jsonl(text, &jerr);
@@ -455,6 +553,17 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     err << "columbia_report: " << path << ": cannot parse ("
         << (jerr.empty() ? "empty document" : jerr) << ")\n";
     return kUsage;
+  }
+
+  if (opt.comm) {
+    std::vector<CommReport> reports;
+    reports.reserve(traces.size());
+    for (const TraceRun& run : traces) {
+      reports.push_back(build_comm_report(run.events));
+      print_comm_run(run, reports.back(), out);
+    }
+    if (traces.size() > 1) print_comm_comparison(traces, reports, out);
+    return kOk;
   }
 
   for (const TraceRun& run : traces) print_single_run(run, out);

@@ -2,19 +2,24 @@
 
 #if COLUMBIA_OBS_ENABLED
 
-#include <fstream>
 #include <mutex>
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "support/durable.hpp"
 
 namespace columbia::obs {
 
 namespace {
 
+/// Convergence records accumulate in memory and every emit lands the whole
+/// file tmp+rename (support::durable_write_file): a crashed run leaves the
+/// complete records of every finished cycle, never a torn last line.
+/// Convergence files are a few KB, so the rewrite-per-cycle is cheap.
 struct Sink {
   std::mutex mu;
-  std::ofstream os;
+  std::string path;
+  std::string buffer;  // all lines emitted since open_jsonl
   bool open = false;
 };
 
@@ -28,17 +33,18 @@ Sink& sink() {
 bool open_jsonl(const std::string& path) {
   Sink& s = sink();
   std::lock_guard<std::mutex> lock(s.mu);
-  if (s.open) s.os.close();
-  s.os.open(path, std::ios::trunc);
-  s.open = bool(s.os);
+  s.path = path;
+  s.buffer.clear();
+  s.open = support::durable_write_file(path, "");
   return s.open;
 }
 
 void close_jsonl() {
   Sink& s = sink();
   std::lock_guard<std::mutex> lock(s.mu);
-  if (s.open) s.os.close();
   s.open = false;
+  s.path.clear();
+  s.buffer.clear();
 }
 
 bool jsonl_open() {
@@ -77,8 +83,9 @@ void emit_cycle(const CycleRecord& rec) {
   Sink& s = sink();
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.open) return;
-  s.os << line.str() << '\n';
-  s.os.flush();
+  s.buffer += line.str();
+  s.buffer += '\n';
+  support::durable_write_file(s.path, s.buffer);
 }
 
 }  // namespace columbia::obs

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <string_view>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -31,6 +32,15 @@ void write_provenance(JsonWriter& w, std::int64_t threads) {
 }
 
 }  // namespace
+
+std::int64_t TraceEvent::arg_or(const char* key, std::int64_t fallback) const {
+  for (int i = 0; i < nargs; ++i) {
+    const char* a = args[i].name;
+    if (a != nullptr && std::string_view(a) == key) return args[i].value;
+  }
+  return fallback;
+}
+
 }  // namespace columbia::obs
 
 namespace columbia::obs {
@@ -132,12 +142,12 @@ void set_enabled(bool on) {
   enabled_flag().store(on, std::memory_order_relaxed);
 }
 
-void record_span_event(const char* name, char phase, const char* arg_name,
-                       std::int64_t arg_value) {
+void record_span_event(const char* name, char phase, const SpanArg* args,
+                       int nargs) {
   TraceEvent e;
   e.name = name;
-  e.arg_name = arg_name;
-  e.arg_value = arg_value;
+  e.nargs = nargs < kMaxSpanArgs ? nargs : kMaxSpanArgs;
+  for (int i = 0; i < e.nargs; ++i) e.args[i] = args[i];
   e.ts_ns = WallTimer::now_ns();
   e.phase = phase;
   local_buffer().push(e);
@@ -177,9 +187,10 @@ void write_chrome_trace(std::ostream& os) {
     w.kv("ts", double(rel) / 1e3);
     w.kv("pid", std::int64_t(0));
     w.kv("tid", std::int64_t(e.tid));
-    if (e.phase == 'B' && e.arg_name != nullptr) {
+    if (e.phase == 'B' && e.nargs > 0) {
       w.key("args").begin_object();
-      w.kv(e.arg_name, e.arg_value);
+      for (int i = 0; i < e.nargs; ++i)
+        if (e.args[i].name != nullptr) w.kv(e.args[i].name, e.args[i].value);
       w.end_object();
     }
     w.end_object();

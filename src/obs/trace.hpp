@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -38,25 +39,38 @@ constexpr bool enabled() { return false; }
 inline void set_enabled(bool) {}
 #endif
 
-/// One begin or end event. `name` and `arg_name` must be string literals
+/// Named integer attribute attached to a 'B' event. `name` must be a
+/// string literal (or otherwise outlive the recorder).
+struct SpanArg {
+  const char* name = nullptr;
+  std::int64_t value = 0;
+};
+
+/// Maximum attributes per span: the halo.xchg family needs
+/// rank/nbr/level/strat/bytes.
+inline constexpr int kMaxSpanArgs = 5;
+
+/// One begin or end event. `name` and arg names must be string literals
 /// (or otherwise outlive the recorder); `tid` is filled in at export time
 /// from the owning buffer.
 struct TraceEvent {
   const char* name = nullptr;
-  const char* arg_name = nullptr;  // optional integer argument on 'B' events
-  std::int64_t arg_value = 0;
+  SpanArg args[kMaxSpanArgs];  // optional integer arguments on 'B' events
+  int nargs = 0;
   std::uint64_t ts_ns = 0;
   std::uint32_t tid = 0;
   char phase = 'B';  // 'B' or 'E'
+
+  /// Value of the argument named `key`, or `fallback` when absent.
+  std::int64_t arg_or(const char* key, std::int64_t fallback) const;
 };
 
 #if COLUMBIA_OBS_ENABLED
 void record_span_event(const char* name, char phase,
-                       const char* arg_name = nullptr,
-                       std::int64_t arg_value = 0);
+                       const SpanArg* args = nullptr, int nargs = 0);
 #else
-inline void record_span_event(const char*, char, const char* = nullptr,
-                              std::int64_t = 0) {}
+inline void record_span_event(const char*, char, const SpanArg* = nullptr,
+                              int = 0) {}
 #endif
 
 /// RAII span. Prefer the OBS_SPAN macro (obs/obs.hpp), which names the
@@ -72,7 +86,15 @@ class SpanGuard {
   SpanGuard(const char* name, const char* arg_name, std::int64_t arg_value) {
     if (enabled()) {
       name_ = name;
-      record_span_event(name, 'B', arg_name, arg_value);
+      const SpanArg arg{arg_name, arg_value};
+      record_span_event(name, 'B', &arg, 1);
+    }
+  }
+  /// Multi-attribute span (at most kMaxSpanArgs; extras are dropped).
+  SpanGuard(const char* name, std::initializer_list<SpanArg> args) {
+    if (enabled()) {
+      name_ = name;
+      record_span_event(name, 'B', args.begin(), int(args.size()));
     }
   }
   ~SpanGuard() {

@@ -22,34 +22,62 @@ constexpr int kMaxHaloAttempts = 4;
 /// (seed, exchange seq, sender, receiver, attempt) — deterministic at any
 /// thread interleaving.
 void send_halo(Comm& comm, int to, int tag,
-               const std::vector<real_t>& payload, std::uint64_t seq) {
+               const std::vector<real_t>& payload, std::uint64_t seq,
+               std::int64_t strat, std::int64_t level) {
   resil::FaultInjector& inj = resil::FaultInjector::global();
+  // One halo.xchg.post span per attempt (plus a retransmit marker per
+  // faulted attempt) keeps the comm observatory's k-th-post-to-k-th-wait
+  // matching valid under retransmission; core::ExchangePlan mirrors this.
+  const std::int64_t me = comm.rank();
+  const std::int64_t bytes = std::int64_t(payload.size() * sizeof(real_t));
   for (int attempt = 0;; ++attempt) {
-    std::vector<real_t> frame = resil::frame_payload(payload);
     bool faulted = false;
-    if (inj.armed() && attempt + 1 < kMaxHaloAttempts) {
-      const std::uint64_t site =
-          resil::halo_site(seq, std::uint64_t(comm.rank()),
-                           std::uint64_t(to), std::uint64_t(attempt));
-      if (inj.should_inject(resil::FaultKind::HaloDrop, site)) {
-        resil::drop_frame(frame);
-        faulted = true;
-      } else if (inj.should_inject(resil::FaultKind::HaloCorrupt, site)) {
-        resil::corrupt_frame(frame, site);
-        faulted = true;
+    {
+      obs::SpanGuard post("halo.xchg.post", {{"rank", me},
+                                             {"nbr", std::int64_t(to)},
+                                             {"level", level},
+                                             {"strat", strat},
+                                             {"bytes", bytes}});
+      std::vector<real_t> frame = resil::frame_payload(payload);
+      if (inj.armed() && attempt + 1 < kMaxHaloAttempts) {
+        const std::uint64_t site =
+            resil::halo_site(seq, std::uint64_t(comm.rank()),
+                             std::uint64_t(to), std::uint64_t(attempt));
+        if (inj.should_inject(resil::FaultKind::HaloDrop, site)) {
+          resil::drop_frame(frame);
+          faulted = true;
+        } else if (inj.should_inject(resil::FaultKind::HaloCorrupt, site)) {
+          resil::corrupt_frame(frame, site);
+          faulted = true;
+        }
       }
+      comm.send(to, tag, frame);
     }
-    comm.send(to, tag, frame);
     if (!faulted) return;
     OBS_COUNT("resil.halo.retransmits", 1);
+    {
+      obs::SpanGuard rt("halo.xchg.retransmit", {{"rank", me},
+                                                 {"nbr", std::int64_t(to)},
+                                                 {"level", level},
+                                                 {"strat", strat},
+                                                 {"bytes", bytes}});
+    }
   }
 }
 
 /// Receives frames from `from` until one validates; returns its payload.
 /// Bounded by the sender's attempt cap.
-std::vector<real_t> recv_halo(Comm& comm, int from, int tag) {
+std::vector<real_t> recv_halo(Comm& comm, int from, int tag,
+                              std::int64_t strat, std::int64_t level) {
   std::vector<real_t> payload;
+  const std::int64_t me = comm.rank();
   for (int attempt = 0; attempt < kMaxHaloAttempts; ++attempt) {
+    // The wait span covers the blocking mailbox recv plus validation —
+    // the genuine wait time the merger attributes late-sender/receiver.
+    obs::SpanGuard wait("halo.xchg.wait", {{"rank", me},
+                                           {"nbr", std::int64_t(from)},
+                                           {"level", level},
+                                           {"strat", strat}});
     const std::vector<real_t> frame = comm.recv(from, tag);
     if (resil::unframe_payload(frame, payload)) return payload;
     OBS_COUNT("resil.halo.rejected", 1);
@@ -96,7 +124,8 @@ void serve_local(const PartitionData& data, const RequestLists& requests,
 }  // namespace
 
 PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
-                                        const RequestLists& requests) {
+                                        const RequestLists& requests,
+                                        int level) {
   OBS_SPAN("halo.exchange.t2t");
   OBS_COUNT("halo.t2t.exchanges", 1);
   TrafficScope traffic(rt, "halo.t2t.messages", "halo.t2t.bytes");
@@ -116,15 +145,25 @@ PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
   const std::uint64_t seq =
       resil::FaultInjector::global().next_exchange_seq();
   PartitionData out(std::size_t(nparts), std::vector<real_t>{});
+  const std::int64_t lvl = level;
   rt.run([&](Comm& comm) {
     const index_t me = index_t(comm.rank());
     serve_local(data, requests, me, me, me + 1, out[std::size_t(me)]);
     for (const auto& [q, items] : sends[std::size_t(me)]) {
       std::vector<real_t> buf;
-      buf.reserve(items.size());
-      for (index_t item : items)
-        buf.push_back(data[std::size_t(me)][std::size_t(item)]);
-      send_halo(comm, int(q), 10, buf, seq);
+      {
+        obs::SpanGuard pack(
+            "halo.xchg.pack",
+            {{"rank", std::int64_t(me)},
+             {"nbr", std::int64_t(q)},
+             {"level", lvl},
+             {"strat", std::int64_t(0)},
+             {"bytes", std::int64_t(items.size() * sizeof(real_t))}});
+        buf.reserve(items.size());
+        for (index_t item : items)
+          buf.push_back(data[std::size_t(me)][std::size_t(item)]);
+      }
+      send_halo(comm, int(q), 10, buf, seq, 0, lvl);
     }
     // Receive in the deterministic order of our request list's senders.
     std::map<index_t, std::vector<real_t>> received;
@@ -132,7 +171,15 @@ PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
     for (const HaloRequest& r : reqs)
       if (r.from_partition != me &&
           !received.count(r.from_partition))
-        received[r.from_partition] = recv_halo(comm, int(r.from_partition), 10);
+        received[r.from_partition] =
+            recv_halo(comm, int(r.from_partition), 10, 0, lvl);
+    obs::SpanGuard unpack(
+        "halo.xchg.unpack",
+        {{"rank", std::int64_t(me)},
+         {"nbr", std::int64_t(-1)},
+         {"level", lvl},
+         {"strat", std::int64_t(0)},
+         {"bytes", std::int64_t(reqs.size() * sizeof(real_t))}});
     std::map<index_t, std::size_t> cursor;
     for (std::size_t k = 0; k < reqs.size(); ++k) {
       const HaloRequest& r = reqs[k];
@@ -146,7 +193,7 @@ PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
 
 PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
                                      const RequestLists& requests,
-                                     int threads_per_process) {
+                                     int threads_per_process, int level) {
   OBS_SPAN("halo.exchange.master");
   OBS_COUNT("halo.master.exchanges", 1);
   TrafficScope traffic(rt, "halo.master.messages", "halo.master.bytes");
@@ -175,6 +222,7 @@ PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
   const std::uint64_t seq =
       resil::FaultInjector::global().next_exchange_seq();
   PartitionData out(std::size_t(nparts), std::vector<real_t>{});
+  const std::int64_t lvl = level;
   rt.run([&](Comm& comm) {
     const index_t me = index_t(comm.rank());
     const index_t first = me * tpp, last = first + tpp;
@@ -188,14 +236,29 @@ PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
     // (Fig. 7b): all ghost values from every local partition together.
     for (const auto& [qp, items] : sends[std::size_t(me)]) {
       std::vector<real_t> buf;
-      buf.reserve(items.size());
-      for (const HaloRequest& r : items)
-        buf.push_back(
-            data[std::size_t(r.from_partition)][std::size_t(r.item)]);
-      send_halo(comm, int(qp), 11, buf, seq);
+      {
+        obs::SpanGuard pack(
+            "halo.xchg.pack",
+            {{"rank", std::int64_t(me)},
+             {"nbr", std::int64_t(qp)},
+             {"level", lvl},
+             {"strat", std::int64_t(1)},
+             {"bytes", std::int64_t(items.size() * sizeof(real_t))}});
+        buf.reserve(items.size());
+        for (const HaloRequest& r : items)
+          buf.push_back(
+              data[std::size_t(r.from_partition)][std::size_t(r.item)]);
+      }
+      send_halo(comm, int(qp), 11, buf, seq, 1, lvl);
     }
     // Receive one message per remote process and scatter to the local
     // partitions' request slots (thread-parallel unpack in the paper).
+    // The unpack span wraps the whole scatter; nested wait spans are
+    // excluded from its exclusive time by the profile builder.
+    obs::SpanGuard unpack("halo.xchg.unpack", {{"rank", std::int64_t(me)},
+                                               {"nbr", std::int64_t(-1)},
+                                               {"level", lvl},
+                                               {"strat", std::int64_t(1)}});
     std::map<index_t, std::vector<real_t>> received;
     std::map<index_t, std::size_t> cursor;
     for (index_t p = first; p < last; ++p) {
@@ -203,7 +266,8 @@ PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
       for (std::size_t k = 0; k < reqs.size(); ++k) {
         const index_t op = proc_of(reqs[k].from_partition);
         if (op == me) continue;
-        if (!received.count(op)) received[op] = recv_halo(comm, int(op), 11);
+        if (!received.count(op))
+          received[op] = recv_halo(comm, int(op), 11, 1, lvl);
         out[std::size_t(p)][k] = received[op][cursor[op]++];
       }
     }

@@ -41,13 +41,17 @@ using PartitionData = core::PartitionData;
 using RequestLists = core::RequestLists;
 
 /// Fig. 7(a): one rank per partition, direct thread-to-thread messages.
+/// `level` tags the exchange's halo.xchg spans for the comm observatory
+/// (-1 = untagged); it never affects the delivered values.
 PartitionData exchange_thread_to_thread(Runtime& rt, const PartitionData& data,
-                                        const RequestLists& requests);
+                                        const RequestLists& requests,
+                                        int level = -1);
 
 /// Fig. 7(b): one rank per process of `threads_per_process` partitions;
-/// the master packs/sends one message per remote process.
+/// the master packs/sends one message per remote process. `level` as in
+/// exchange_thread_to_thread.
 PartitionData exchange_master_thread(Runtime& rt, const PartitionData& data,
                                      const RequestLists& requests,
-                                     int threads_per_process);
+                                     int threads_per_process, int level = -1);
 
 }  // namespace columbia::smp

@@ -1,0 +1,39 @@
+#include "support/durable.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace columbia::support {
+
+bool durable_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(content.data(), std::streamsize(content.size()));
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool durable_append_line(const std::string& path, const std::string& line) {
+  std::ostringstream content;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (is) content << is.rdbuf();
+  }
+  content << line;
+  if (line.empty() || line.back() != '\n') content << '\n';
+  return durable_write_file(path, content.str());
+}
+
+}  // namespace columbia::support

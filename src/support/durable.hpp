@@ -1,0 +1,23 @@
+// Crash-durable file writes: stage the full new contents in `path + ".tmp"`
+// and std::rename it over the destination — the same discipline as
+// resil::checkpoint — so an aborted run leaves either the previous complete
+// file or the new complete file, never a truncated artifact for the perf
+// gate or report ingest to choke on.
+#pragma once
+
+#include <string>
+
+namespace columbia::support {
+
+/// Atomically replaces `path` with `content`. False (and no change to any
+/// existing file at `path`) if the staging file cannot be written or the
+/// rename fails.
+bool durable_write_file(const std::string& path, const std::string& content);
+
+/// Atomically appends `line` (a trailing '\n' is added when missing) to the
+/// file at `path`, creating it when absent. Implemented as read-modify-
+/// rewrite through durable_write_file: intended for modest append-style
+/// artifacts (JSONL reports), not high-rate logs.
+bool durable_append_line(const std::string& path, const std::string& line);
+
+}  // namespace columbia::support

@@ -197,8 +197,12 @@ TEST(ExchangePlan, BitIdenticalUnderHaloDrops) {
 
 TEST(ExchangePlan, SteadyStateExchangePerformsZeroAllocations) {
   Scenario s = make_scenario(12, 30, 25, 7);
-  ExchangePlan t2t(s.requests);
-  ExchangePlan master(s.requests, {ExchangeStrategy::MasterThread, 3});
+  // Level-tagged plans take the exact same hot path as untagged ones; the
+  // halo.xchg span guards they carry must cost zero allocations while
+  // observability is disabled (the default), which is the state this test
+  // runs in.
+  ExchangePlan t2t(s.requests, {ExchangeStrategy::ThreadToThread, 1, 0});
+  ExchangePlan master(s.requests, {ExchangeStrategy::MasterThread, 3, 1});
   // Warm-up: first exchange may touch lazily-created observability
   // registries; everything after it must be allocation-free.
   t2t.exchange(s.data);

@@ -194,8 +194,11 @@ TEST(ObsTest, SpanRecordingAndSnapshot) {
   ASSERT_EQ(events.size(), 4u);
   EXPECT_EQ(std::string(events[0].name), "obs_test.outer");
   EXPECT_EQ(events[0].phase, 'B');
-  EXPECT_EQ(std::string(events[0].arg_name), "level");
-  EXPECT_EQ(events[0].arg_value, 3);
+  ASSERT_EQ(events[0].nargs, 1);
+  EXPECT_EQ(std::string(events[0].args[0].name), "level");
+  EXPECT_EQ(events[0].args[0].value, 3);
+  EXPECT_EQ(events[0].arg_or("level", -1), 3);
+  EXPECT_EQ(events[0].arg_or("rank", -1), -1);
   // Destruction order closes inner before outer.
   EXPECT_EQ(std::string(events[2].name), "obs_test.inner");
   EXPECT_EQ(events[2].phase, 'E');

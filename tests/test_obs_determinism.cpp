@@ -4,14 +4,19 @@
 // that lets the instrumentation live permanently in the solver hot paths.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cart3d/solver.hpp"
+#include "core/exchange_plan.hpp"
 #include "geom/components.hpp"
 #include "mesh/builders.hpp"
+#include "nsu3d/partitioned.hpp"
 #include "nsu3d/solver.hpp"
 #include "obs/obs.hpp"
+#include "resil/faults.hpp"
 #include "smp/pool.hpp"
 
 namespace columbia {
@@ -148,6 +153,78 @@ TEST(ObsDeterminism, Cart3dReportedHistoryThreadInvariant) {
   const auto m = small_sphere_mesh();
   expect_equal(run_cart3d(m, 1, false, true),
                run_cart3d(m, 4, false, true));
+}
+
+// The comm observatory (halo.xchg spans on the partitioned exchange path)
+// must be exactly as invisible as the rest of the instrumentation: the
+// partitioned residual is bit-identical with span recording on or off, at
+// any thread count, with either exchange strategy, and with halo fault
+// injection armed or not.
+
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) {
+    resil::FaultInjector::global().configure(resil::parse_fault_spec(spec));
+  }
+  ~FaultGuard() { resil::FaultInjector::global().reset(); }
+};
+
+std::vector<nsu3d::State> run_nsu3d_partitioned(
+    const nsu3d::Level& lvl, const std::vector<nsu3d::State>& u,
+    const euler::Prim& inf, std::span<const index_t> part, int threads,
+    bool tracing, const core::ExchangePlanOptions& comm) {
+  Guard guard;
+  smp::set_global_threads(threads);
+  obs::set_enabled(tracing);
+  return nsu3d::parallel_residual(lvl, u, inf, part, 4, comm);
+}
+
+TEST(ObsDeterminism, PartitionedResidualCommObservatoryInvisible) {
+  mesh::WingMeshSpec spec;
+  spec.n_wrap = 24;
+  spec.n_span = 3;
+  spec.n_normal = 10;
+  spec.wall_spacing = 1e-4;
+  const auto m = mesh::make_wing_mesh(spec);
+  nsu3d::LevelOptions lo;
+  lo.num_levels = 1;
+  const auto levels = nsu3d::build_levels(m, lo);
+  const nsu3d::Level& lvl = levels[0];
+
+  euler::FlowConditions fc;
+  fc.mach = 0.6;
+  const euler::Prim inf = fc.freestream();
+  std::vector<nsu3d::State> u(std::size_t(lvl.num_nodes));
+  for (index_t v = 0; v < lvl.num_nodes; ++v) {
+    const geom::Vec3& x = lvl.node_center[std::size_t(v)];
+    euler::Prim w = inf;
+    w.rho *= 1.0 + 0.05 * std::sin(x.x + 0.3 * x.y);
+    w.p *= 1.0 + 0.05 * std::cos(0.7 * x.z);
+    const auto c5 = euler::to_conservative(w);
+    for (int c = 0; c < 5; ++c)
+      u[std::size_t(v)][std::size_t(c)] = c5[std::size_t(c)];
+    u[std::size_t(v)][5] = 1e-5 * w.rho;
+  }
+  const auto plan = nsu3d::build_partition_plan(levels, 4);
+  const auto& part = plan.levels[0].part;
+
+  const core::ExchangePlanOptions configs[] = {
+      {core::ExchangeStrategy::ThreadToThread, 1, 0},
+      {core::ExchangeStrategy::MasterThread, 2, 0},
+  };
+  const auto baseline =
+      run_nsu3d_partitioned(lvl, u, inf, part, 1, false, configs[0]);
+  for (const auto& comm : configs) {
+    for (int threads : {1, 2, 4}) {
+      EXPECT_EQ(baseline, run_nsu3d_partitioned(lvl, u, inf, part, threads,
+                                                true, comm))
+          << "threads " << threads << " strat "
+          << core::strategy_id(comm.strategy);
+      FaultGuard faults("seed=21,halo_corrupt=0.3,halo_drop=0.3");
+      EXPECT_EQ(baseline, run_nsu3d_partitioned(lvl, u, inf, part, threads,
+                                                true, comm))
+          << "faulted, threads " << threads;
+    }
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //                       sweep still completes
 //   --manifest sweep.txt  durable per-case manifest: re-running with the
 //                       same spec resumes after completed cases
+//   --faults-help       print the full COLUMBIA_FAULTS grammar and exit
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -22,6 +23,11 @@
 using namespace columbia;
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--faults-help") == 0) {
+      std::printf("%s", resil::fault_grammar_help().c_str());
+      return 0;
+    }
   std::string faults_spec, manifest_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) faults_spec = argv[i + 1];

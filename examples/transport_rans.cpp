@@ -9,6 +9,7 @@
 // Resilience flags:
 //   --faults "seed=42,state_nan=0.2@2"  arm deterministic fault injection
 //                      (COLUMBIA_FAULTS grammar) and run the guarded solve
+//   --faults-help      print the full COLUMBIA_FAULTS grammar and exit
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -22,6 +23,11 @@
 using namespace columbia;
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--faults-help") == 0) {
+      std::printf("%s", resil::fault_grammar_help().c_str());
+      return 0;
+    }
   std::string trace_path, jsonl_path, faults_spec;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];

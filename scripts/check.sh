@@ -21,6 +21,13 @@ cmake --build --preset tsan -j "$JOBS"
 ctest --preset tsan -j "$JOBS"
 
 echo
+echo "== soak: distributed fault matrix (scripts/soak.sh) =="
+# Backend x strategy x fault-kind sweep of the guarded multi-rank solve:
+# every cell must converge or recover under a watchdog, with the history
+# artifact bit-identical to the clean in-process reference.
+BUILD_DIR=build scripts/soak.sh
+
+echo
 echo "== perf gate: BENCH_*.json baselines (scripts/perf_gate.sh) =="
 # Gates every row in BENCH_kernels.json — the end-to-end residual sweeps,
 # the nsu3d_* per-phase kernel rows (gradient/limiter/flux/smoother/line

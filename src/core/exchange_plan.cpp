@@ -1,8 +1,10 @@
 #include "core/exchange_plan.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "obs/obs.hpp"
@@ -24,6 +26,15 @@ ExchangePlan::ExchangePlan(RequestLists requests, ExchangePlanOptions options)
     : requests_(std::move(requests)), opt_(options) {
   nparts_ = index_t(requests_.size());
   COLUMBIA_REQUIRE(nparts_ >= 1);
+  if (opt_.transport != nullptr) {
+    COLUMBIA_REQUIRE(opt_.transport->group_size() >= 1);
+    // The fault-injection bound needs at least one guaranteed-clean final
+    // attempt; the deadline must be a real wait.
+    COLUMBIA_REQUIRE(opt_.wire.max_attempts >= 2);
+    COLUMBIA_REQUIRE(opt_.wire.deadline_ms >= 1);
+    COLUMBIA_REQUIRE(opt_.wire.backoff_base_ms >= 0);
+    COLUMBIA_REQUIRE(opt_.wire.backoff_max_ms >= opt_.wire.backoff_base_ms);
+  }
   const bool master = opt_.strategy == ExchangeStrategy::MasterThread;
   const index_t tpp = master ? index_t(opt_.threads_per_process) : 1;
   COLUMBIA_REQUIRE(tpp >= 1);
@@ -164,10 +175,400 @@ void ExchangePlan::transmit(Channel& ch, std::uint64_t seq) {
   }
 }
 
+// --- Wire path --------------------------------------------------------------
+//
+// With a Transport attached the plan is one member's view of a process
+// group: channel rank r lives on member r % group_size. Every member runs
+// the same schedule in the same global channel order (the deadlock-freedom
+// argument: a member blocked receiving channel c has completed every
+// channel < c, and sends are buffered, so its peers always progress to c).
+// The sender of a channel runs the DATA/ACK/NAK retransmit protocol; the
+// receiver adopts the wire-validated payload — the wire bytes are
+// load-bearing, which is what makes cross-backend bit-identity a real
+// claim rather than a tautology. Members on neither end (and the sender,
+// for its replicated copy of out_) validate the frame locally.
+
+int ExchangePlan::member_of(index_t rank) const {
+  return int(std::uint64_t(rank) %
+             std::uint64_t(opt_.transport->group_size()));
+}
+
+void ExchangePlan::maybe_hang() {
+  resil::FaultInjector& inj = resil::FaultInjector::global();
+  if (!inj.armed()) return;
+  if (inj.should_inject(resil::FaultKind::PeerHang,
+                        std::uint64_t(opt_.transport->group_rank())))
+    opt_.transport->enter_hang();
+}
+
+void ExchangePlan::local_validate(Channel& ch) {
+  // Replicated fill for members not on the receiving end of the wire: the
+  // same frame/unframe discipline, no traffic, no spans, no fault sites
+  // (only the wire sender draws this channel's sites, so the injected set
+  // stays identical across group sizes).
+  resil::frame_payload_into(ch.payload, ch.frame);
+  COLUMBIA_REQUIRE(resil::unframe_payload(ch.frame, ch.recv));
+}
+
+void ExchangePlan::note_retransmit(const Channel& ch) {
+  stats_.retransmits += 1;
+  OBS_COUNT("resil.halo.retransmits", 1);
+  opt_.transport->count(TransportCounter::Retransmit);
+  obs::SpanGuard rt("halo.xchg.retransmit",
+                    {{"rank", std::int64_t(ch.sender)},
+                     {"nbr", std::int64_t(ch.receiver)},
+                     {"level", std::int64_t(opt_.level)},
+                     {"strat", std::int64_t(strategy_id(opt_.strategy))},
+                     {"bytes",
+                      std::int64_t(ch.pack.size() * sizeof(real_t))}});
+}
+
+void ExchangePlan::send_control(int peer, WireType type,
+                                const WireHeader& data_header) {
+  WireHeader h = data_header;
+  h.type = std::uint16_t(type);
+  encode_wire(h, {}, wire_ctl_);
+  if (!opt_.transport->send(peer, wire_ctl_)) {
+    opt_.transport->count(TransportCounter::Reconnect);
+    opt_.transport->reconnect(peer);
+  }
+}
+
+ExchangePlan::Await ExchangePlan::await_ack(int peer, std::uint64_t seq,
+                                            std::uint32_t ci,
+                                            int deadline_ms) {
+  Transport* t = opt_.transport;
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(deadline_ms);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= until) return Await::Timeout;
+    const int remaining =
+        int(std::chrono::duration_cast<std::chrono::milliseconds>(until - now)
+                .count()) +
+        1;
+    const RecvOutcome ro = t->recv(peer, wire_in_, remaining);
+    if (ro == RecvOutcome::Timeout) return Await::Timeout;
+    if (ro == RecvOutcome::PeerGone) return Await::PeerGone;
+    if (ro != RecvOutcome::Ok) return Await::Reset;
+    WireHeader h;
+    if (!decode_wire(wire_in_, h, wire_frame_)) continue;
+    const WireType type = WireType(h.type);
+    if (type == WireType::Data) {
+      // Data from this peer for a channel we already delivered (its Ack
+      // was destroyed, e.g. by a reset): re-Ack so the peer can progress.
+      // Data for a channel we have NOT delivered yet — the peer ran ahead
+      // while our Ack to it was lost — must NOT be acknowledged here:
+      // that would discard the only copy while telling the peer it
+      // arrived, deadlocking the wire_recv that owns the channel. Drop it
+      // silently; the peer's retransmit re-offers it to that wire_recv.
+      if (h.seq < seq || (h.seq == seq && h.channel < ci))
+        send_control(peer, WireType::Ack, h);
+      continue;
+    }
+    if (h.seq != seq || h.channel != ci) continue;  // stale control
+    if (type == WireType::Ack) return Await::Acked;
+    if (type == WireType::Nak) return Await::Nacked;
+  }
+}
+
+void ExchangePlan::wire_send(std::uint32_t ci, Channel& ch,
+                             std::uint64_t seq) {
+  Transport* t = opt_.transport;
+  resil::FaultInjector& inj = resil::FaultInjector::global();
+  maybe_hang();
+  const int peer = member_of(ch.receiver);
+  const std::int64_t sender = std::int64_t(ch.sender);
+  const std::int64_t receiver = std::int64_t(ch.receiver);
+  const std::int64_t lvl = opt_.level;
+  const std::int64_t strat = strategy_id(opt_.strategy);
+  const std::int64_t bytes = std::int64_t(ch.pack.size() * sizeof(real_t));
+  const int fault_cap = std::min(kMaxHaloAttempts, opt_.wire.max_attempts);
+  int backoff = opt_.wire.backoff_base_ms;
+  bool peer_answered = false;
+  for (int attempt = 0; attempt < opt_.wire.max_attempts; ++attempt) {
+    if (attempt > 0) note_retransmit(ch);
+    bool drop_on_wire = false;
+    bool reset_after_send = false;
+    {
+      obs::SpanGuard post("halo.xchg.post", {{"rank", sender},
+                                             {"nbr", receiver},
+                                             {"level", lvl},
+                                             {"strat", strat},
+                                             {"bytes", bytes}});
+      resil::frame_payload_into(ch.payload, ch.frame);
+      if (inj.armed() && attempt + 1 < fault_cap) {
+        const std::uint64_t site = resil::halo_site(
+            seq, std::uint64_t(ch.sender), std::uint64_t(ch.receiver),
+            std::uint64_t(attempt));
+        if (inj.should_inject(resil::FaultKind::MsgDelay, site))
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              inj.spec().param[std::size_t(resil::FaultKind::MsgDelay)]));
+        if (inj.should_inject(resil::FaultKind::ConnReset, site))
+          reset_after_send = true;
+        if (inj.should_inject(resil::FaultKind::MsgDrop, site))
+          drop_on_wire = true;
+        else if (inj.should_inject(resil::FaultKind::HaloDrop, site))
+          resil::drop_frame(ch.frame);
+        else if (inj.should_inject(resil::FaultKind::HaloCorrupt, site))
+          resil::corrupt_frame(ch.frame, site);
+      }
+      encode_wire({seq, ci, std::uint16_t(WireType::Data),
+                   std::uint16_t(attempt)},
+                  ch.frame, wire_out_);
+      if (!drop_on_wire && !t->send(peer, wire_out_)) {
+        t->count(TransportCounter::Reconnect);
+        t->reconnect(peer);
+      }
+      stats_.messages += 1;
+      stats_.bytes += ch.frame.size() * sizeof(real_t);
+    }
+    // The injected reset lands AFTER the send: the link dies with the
+    // message in flight, the way real resets lose data.
+    if (reset_after_send) t->inject_reset(peer);
+    switch (await_ack(peer, seq, ci, opt_.wire.deadline_ms)) {
+      case Await::Acked:
+        return;
+      case Await::PeerGone:
+        // The fabric proved the peer process exited. If it exited cleanly
+        // it completed the identical SPMD schedule, which includes
+        // delivering this channel — its Ack died with it, so treat the
+        // send as acknowledged. If it crashed instead, the launcher sees
+        // its exit status and fails or relaunches the whole group; our
+        // verdict on this channel is moot either way.
+        return;
+      case Await::Nacked:
+        peer_answered = true;
+        break;  // receiver rejected the frame; retransmit immediately
+      case Await::Reset:
+        t->count(TransportCounter::Reconnect);
+        t->reconnect(peer);
+        break;
+      case Await::Timeout:
+        t->count(TransportCounter::Timeout);
+        if (backoff > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        backoff = std::min(std::max(backoff, 1) * 2,
+                           opt_.wire.backoff_max_ms);
+        break;
+    }
+  }
+  const auto kind = peer_answered ? TransportError::Kind::DeliveryFailed
+                                  : TransportError::Kind::PeerLost;
+  t->count(TransportCounter::PeerLost);
+  throw TransportError(
+      kind, peer,
+      std::string("halo channel ") + std::to_string(ci) + " (rank " +
+          std::to_string(ch.sender) + " -> " + std::to_string(ch.receiver) +
+          ") undelivered to member " + std::to_string(peer) + " after " +
+          std::to_string(opt_.wire.max_attempts) + " attempts over " +
+          t->name());
+}
+
+void ExchangePlan::wire_recv(std::uint32_t ci, Channel& ch,
+                             std::uint64_t seq) {
+  Transport* t = opt_.transport;
+  maybe_hang();
+  const int peer = member_of(ch.sender);
+  const std::int64_t sender = std::int64_t(ch.sender);
+  const std::int64_t receiver = std::int64_t(ch.receiver);
+  const std::int64_t lvl = opt_.level;
+  const std::int64_t strat = strategy_id(opt_.strategy);
+  // Outlast the sender's whole retransmit schedule (attempts + backoff)
+  // plus compute skew between members before declaring the peer lost.
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(opt_.wire.deadline_ms) *
+          (opt_.wire.max_attempts * 2 + 2);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= until) break;
+    const int remaining =
+        int(std::chrono::duration_cast<std::chrono::milliseconds>(until - now)
+                .count()) +
+        1;
+    RecvOutcome ro;
+    {
+      obs::SpanGuard wait("halo.xchg.wait", {{"rank", receiver},
+                                             {"nbr", sender},
+                                             {"level", lvl},
+                                             {"strat", strat}});
+      ro = t->recv(peer, wire_in_,
+                   std::min(remaining, opt_.wire.deadline_ms));
+    }
+    if (ro == RecvOutcome::Timeout) {
+      t->count(TransportCounter::Timeout);
+      continue;
+    }
+    if (ro == RecvOutcome::PeerGone) {
+      // The sender's process exited while still owing us this channel —
+      // it cannot have completed its schedule, so it crashed. No data is
+      // coming; fail now rather than running out the patience window.
+      break;
+    }
+    if (ro != RecvOutcome::Ok) {
+      t->count(TransportCounter::Reconnect);
+      t->reconnect(peer);
+      continue;
+    }
+    WireHeader h;
+    if (!decode_wire(wire_in_, h, wire_frame_)) continue;
+    if (WireType(h.type) != WireType::Data) continue;  // stale control
+    if (h.seq != seq || h.channel != ci) {
+      // Duplicate of an already-delivered channel whose Ack was lost:
+      // re-Ack it. Never acknowledge anything from the future (can only
+      // appear if the peer restarted out of step — drop it).
+      if (h.seq < seq || (h.seq == seq && h.channel < ci))
+        send_control(peer, WireType::Ack, h);
+      continue;
+    }
+    if (resil::unframe_payload(wire_frame_, ch.recv)) {
+      send_control(peer, WireType::Ack, h);
+      return;
+    }
+    stats_.rejected += 1;
+    OBS_COUNT("resil.halo.rejected", 1);
+    send_control(peer, WireType::Nak, h);
+  }
+  t->count(TransportCounter::PeerLost);
+  throw TransportError(
+      TransportError::Kind::PeerLost, peer,
+      std::string("no halo data for channel ") + std::to_string(ci) +
+          " (rank " + std::to_string(ch.sender) + " -> " +
+          std::to_string(ch.receiver) + ") from member " +
+          std::to_string(peer) + " over " + t->name());
+}
+
+void ExchangePlan::wire_loopback(std::uint32_t ci, Channel& ch,
+                                 std::uint64_t seq) {
+  // Both endpoints map to this member and loopback_self is set: drive the
+  // full send/receive protocol inline through the real backend (rings,
+  // sockets) — the single-process harness for wire tests. Delivery itself
+  // is the acknowledgement, so no Ack/Nak traffic. Span and ledger
+  // accounting matches transmit(): one post + one wait per attempt, one
+  // retransmit span per re-attempt.
+  Transport* t = opt_.transport;
+  resil::FaultInjector& inj = resil::FaultInjector::global();
+  maybe_hang();
+  const int self = t->group_rank();
+  const std::int64_t sender = std::int64_t(ch.sender);
+  const std::int64_t receiver = std::int64_t(ch.receiver);
+  const std::int64_t lvl = opt_.level;
+  const std::int64_t strat = strategy_id(opt_.strategy);
+  const std::int64_t bytes = std::int64_t(ch.pack.size() * sizeof(real_t));
+  const int fault_cap = std::min(kMaxHaloAttempts, opt_.wire.max_attempts);
+  int backoff = opt_.wire.backoff_base_ms;
+  for (int attempt = 0; attempt < opt_.wire.max_attempts; ++attempt) {
+    if (attempt > 0) note_retransmit(ch);
+    bool drop_on_wire = false;
+    bool reset_after_send = false;
+    {
+      obs::SpanGuard post("halo.xchg.post", {{"rank", sender},
+                                             {"nbr", receiver},
+                                             {"level", lvl},
+                                             {"strat", strat},
+                                             {"bytes", bytes}});
+      resil::frame_payload_into(ch.payload, ch.frame);
+      if (inj.armed() && attempt + 1 < fault_cap) {
+        const std::uint64_t site = resil::halo_site(
+            seq, std::uint64_t(ch.sender), std::uint64_t(ch.receiver),
+            std::uint64_t(attempt));
+        if (inj.should_inject(resil::FaultKind::MsgDelay, site))
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              inj.spec().param[std::size_t(resil::FaultKind::MsgDelay)]));
+        if (inj.should_inject(resil::FaultKind::ConnReset, site))
+          reset_after_send = true;
+        if (inj.should_inject(resil::FaultKind::MsgDrop, site))
+          drop_on_wire = true;
+        else if (inj.should_inject(resil::FaultKind::HaloDrop, site))
+          resil::drop_frame(ch.frame);
+        else if (inj.should_inject(resil::FaultKind::HaloCorrupt, site))
+          resil::corrupt_frame(ch.frame, site);
+      }
+      encode_wire({seq, ci, std::uint16_t(WireType::Data),
+                   std::uint16_t(attempt)},
+                  ch.frame, wire_out_);
+      if (!drop_on_wire && !t->send(self, wire_out_)) {
+        t->count(TransportCounter::Reconnect);
+        t->reconnect(self);
+      }
+      stats_.messages += 1;
+      stats_.bytes += ch.frame.size() * sizeof(real_t);
+    }
+    // Reset AFTER the send: the in-flight message dies with the link.
+    if (reset_after_send) t->inject_reset(self);
+    RecvOutcome ro;
+    {
+      obs::SpanGuard wait("halo.xchg.wait", {{"rank", receiver},
+                                             {"nbr", sender},
+                                             {"level", lvl},
+                                             {"strat", strat}});
+      ro = t->recv(self, wire_in_, opt_.wire.deadline_ms);
+    }
+    if (ro == RecvOutcome::Timeout) {
+      t->count(TransportCounter::Timeout);
+      if (backoff > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(std::max(backoff, 1) * 2, opt_.wire.backoff_max_ms);
+      continue;
+    }
+    if (ro != RecvOutcome::Ok) {
+      t->count(TransportCounter::Reconnect);
+      t->reconnect(self);
+      continue;
+    }
+    WireHeader h;
+    if (!decode_wire(wire_in_, h, wire_frame_)) continue;
+    if (WireType(h.type) != WireType::Data || h.seq != seq ||
+        h.channel != ci)
+      continue;  // stale leftover (e.g. flushed by an injected reset)
+    if (resil::unframe_payload(wire_frame_, ch.recv)) return;
+    stats_.rejected += 1;
+    OBS_COUNT("resil.halo.rejected", 1);
+  }
+  t->count(TransportCounter::PeerLost);
+  throw TransportError(
+      TransportError::Kind::DeliveryFailed, self,
+      std::string("loopback halo channel ") + std::to_string(ci) +
+          " undelivered after " + std::to_string(opt_.wire.max_attempts) +
+          " attempts over " + t->name());
+}
+
+void ExchangePlan::drain(int quiet_ms) {
+  Transport* t = opt_.transport;
+  if (t == nullptr || t->group_size() <= 1) return;
+  const int me = t->group_rank();
+  auto last_traffic = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - last_traffic <
+         std::chrono::milliseconds(quiet_ms)) {
+    for (int peer = 0; peer < t->group_size(); ++peer) {
+      if (peer == me) continue;
+      if (t->recv(peer, wire_in_, 10) != RecvOutcome::Ok) continue;
+      last_traffic = std::chrono::steady_clock::now();
+      WireHeader h;
+      if (!decode_wire(wire_in_, h, wire_frame_)) continue;
+      if (WireType(h.type) != WireType::Data) continue;
+      // With our schedule complete, every inbound Data frame duplicates a
+      // channel we already delivered; the Ack we sent for it must have
+      // been destroyed in flight — answer again so the peer can finish.
+      if (h.seq < wire_seq_) send_control(peer, WireType::Ack, h);
+    }
+  }
+}
+
 const PartitionData& ExchangePlan::exchange(const PartitionData& data) {
   OBS_SPAN("halo.plan.exchange");
   COLUMBIA_REQUIRE(index_t(data.size()) == nparts_);
-  const std::uint64_t seq = resil::FaultInjector::global().next_exchange_seq();
+  // The wire protocol needs every group member to stamp the same round
+  // with the same sequence number. The injector's process-global counter
+  // cannot provide that when several members share one process (the
+  // threads backend): each member's exchange() would claim a different
+  // value and the peers would discard each other's frames as stale. The
+  // plan-local counter is identical on every member by SPMD construction.
+  const std::uint64_t seq =
+      opt_.transport != nullptr
+          ? wire_seq_++
+          : resil::FaultInjector::global().next_exchange_seq();
   const std::uint64_t messages_before = stats_.messages;
   const std::uint64_t bytes_before = stats_.bytes;
 
@@ -180,7 +581,8 @@ const PartitionData& ExchangePlan::exchange(const PartitionData& data) {
   // retransmit protocol), scatter to the request slots.
   const std::int64_t lvl = opt_.level;
   const std::int64_t strat = strategy_id(opt_.strategy);
-  for (Channel& ch : channels_) {
+  for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+    Channel& ch = channels_[ci];
     {
       obs::SpanGuard pack("halo.xchg.pack",
                           {{"rank", std::int64_t(ch.sender)},
@@ -193,7 +595,29 @@ const PartitionData& ExchangePlan::exchange(const PartitionData& data) {
         ch.payload[i] =
             data[std::size_t(ch.pack[i].part)][std::size_t(ch.pack[i].item)];
     }
-    transmit(ch, seq);
+    if (opt_.transport == nullptr) {
+      transmit(ch, seq);
+    } else {
+      const int me = opt_.transport->group_rank();
+      const int send_member = member_of(ch.sender);
+      const int recv_member = member_of(ch.receiver);
+      if (send_member == recv_member) {
+        if (send_member != me)
+          local_validate(ch);
+        else if (opt_.wire.loopback_self)
+          wire_loopback(std::uint32_t(ci), ch, seq);
+        else
+          transmit(ch, seq);
+      } else if (send_member == me) {
+        wire_send(std::uint32_t(ci), ch, seq);
+        // The sender's replicated out_ still needs this channel's values.
+        local_validate(ch);
+      } else if (recv_member == me) {
+        wire_recv(std::uint32_t(ci), ch, seq);
+      } else {
+        local_validate(ch);
+      }
+    }
     {
       obs::SpanGuard unpack(
           "halo.xchg.unpack",

@@ -26,15 +26,39 @@
 // deterministic fault sites halo_site(seq, sender, receiver, attempt).
 // Delivered values are therefore bit-identical to the legacy API with
 // fault injection on or off (tests/test_core.cpp pins this down).
+// Multi-process execution (this PR's transport seam): attaching a
+// core::Transport to the options turns the plan into one member's view of
+// a process group. Every member runs the same schedule over replicated
+// data; a channel whose endpoints map to different members moves its frame
+// over the real wire (shared-memory ring, TCP socket, ...) with per-message
+// deadlines, bounded exponential-backoff retransmission, reconnects after
+// resets, and peer-loss detection — while members not on the channel
+// validate the frame locally, so out_ is complete and bit-identical on
+// every member regardless of backend or injected transport faults.
 #pragma once
 
 #include <cstdint>
 
 #include "core/halo.hpp"
+#include "core/transport.hpp"
 
 namespace columbia::core {
 
 enum class ExchangeStrategy { ThreadToThread, MasterThread };
+
+/// Failure-handling knobs of the wire protocol (only meaningful when a
+/// Transport is attached).
+struct WireOptions {
+  int deadline_ms = 100;    // per-attempt ACK/DATA wait
+  int max_attempts = 8;     // retransmit budget per message
+  int backoff_base_ms = 1;  // exponential backoff after a timeout
+  int backoff_max_ms = 16;
+  /// Route channels whose endpoints both map to this member over the wire
+  /// anyway (send-to-self). The loopback harness: real rings/sockets,
+  /// deterministic single-process execution — how the protocol tests and
+  /// the retransmit-ledger checks drive every backend.
+  bool loopback_self = false;
+};
 
 struct ExchangePlanOptions {
   ExchangeStrategy strategy = ExchangeStrategy::ThreadToThread;
@@ -44,6 +68,11 @@ struct ExchangePlanOptions {
   /// Multigrid level tag stamped on the plan's halo.xchg spans so the comm
   /// observatory can attribute waits per level; -1 = untagged.
   int level = -1;
+  /// Wire backend for cross-member channels; nullptr keeps the in-process
+  /// thread transport (both frame endpoints on the calling thread). The
+  /// plan maps channel rank r to group member r % group_size.
+  Transport* transport = nullptr;
+  WireOptions wire;
 };
 
 /// Stable strategy id used as the "strat" span attribute (0 = t2t,
@@ -72,6 +101,15 @@ class ExchangePlan {
   /// partition's request list and owned by the plan (valid until the next
   /// exchange). Performs no heap allocation.
   const PartitionData& exchange(const PartitionData& data);
+
+  /// Group-exit grace period (no-op without a transport or alone in the
+  /// group): keeps answering peers' duplicate Data frames with Acks until
+  /// the wire has been quiet for `quiet_ms`. A member that finishes its
+  /// schedule and exits immediately can strand a peer whose final Ack was
+  /// destroyed in flight (e.g. by an injected conn_reset): the peer
+  /// retransmits into a void forever. Call this after the last exchange,
+  /// before tearing the member down.
+  void drain(int quiet_ms = 300);
 
   index_t num_partitions() const { return nparts_; }
   ExchangeStrategy strategy() const { return opt_.strategy; }
@@ -122,6 +160,26 @@ class ExchangePlan {
 
   void transmit(Channel& ch, std::uint64_t seq);
 
+  // --- Wire path (transport attached) ---
+  //
+  // Channel rank -> group member. Members run the identical schedule over
+  // replicated data; per channel exactly one member sends on the wire and
+  // one receives (wire_loopback when they coincide and loopback_self is
+  // set), everyone else validates the frame locally so out_ is complete
+  // and bit-identical on every member.
+  int member_of(index_t rank) const;
+  void wire_send(std::uint32_t ci, Channel& ch, std::uint64_t seq);
+  void wire_recv(std::uint32_t ci, Channel& ch, std::uint64_t seq);
+  void wire_loopback(std::uint32_t ci, Channel& ch, std::uint64_t seq);
+  void local_validate(Channel& ch);
+  /// COLUMBIA_FAULTS peer_hang check (site = this member's group rank).
+  void maybe_hang();
+  void note_retransmit(const Channel& ch);
+  enum class Await { Acked, Nacked, Timeout, Reset, PeerGone };
+  Await await_ack(int peer, std::uint64_t seq, std::uint32_t ci,
+                  int deadline_ms);
+  void send_control(int peer, WireType type, const WireHeader& data_header);
+
   RequestLists requests_;
   ExchangePlanOptions opt_;
   index_t nparts_ = 0;
@@ -131,6 +189,17 @@ class ExchangePlan {
   ExchangeStats stats_;
   std::vector<index_t> ghost_items_;     // per partition
   std::vector<index_t> neighbor_count_;  // per partition
+  // Wire scratch (persistent; capacity reused so steady-state wire
+  // exchanges allocate nothing once warmed up; untouched without a
+  // transport).
+  std::vector<std::uint8_t> wire_out_;
+  std::vector<std::uint8_t> wire_in_;
+  std::vector<std::uint8_t> wire_ctl_;
+  std::vector<real_t> wire_frame_;
+  /// Wire-path exchange sequence. Plan-local (not the injector's global
+  /// counter) so every group member stamps round k with the same value
+  /// even when members share a process (the threads backend).
+  std::uint64_t wire_seq_ = 0;
 };
 
 }  // namespace columbia::core

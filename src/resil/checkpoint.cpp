@@ -1,14 +1,13 @@
 #include "resil/checkpoint.hpp"
 
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 
 #include "resil/crc32.hpp"
+#include "support/durable.hpp"
 
 namespace columbia::resil {
 
@@ -56,7 +55,8 @@ class CrcReader {
   }
   void get_bytes(void* p, std::size_t n) {
     in_.read(static_cast<char*>(p), std::streamsize(n));
-    if (!in_) throw std::runtime_error("columbia checkpoint: truncated");
+    if (!in_)
+      throw CheckpointError(CheckpointError::Kind::Truncated, "truncated");
     crc_ = crc32(p, n, crc_);
   }
 
@@ -68,6 +68,17 @@ class CrcReader {
 };
 
 }  // namespace
+
+const char* checkpoint_error_kind_name(CheckpointError::Kind k) {
+  switch (k) {
+    case CheckpointError::Kind::BadMagic: return "bad_magic";
+    case CheckpointError::Kind::BadVersion: return "bad_version";
+    case CheckpointError::Kind::Truncated: return "truncated";
+    case CheckpointError::Kind::CrcMismatch: return "crc_mismatch";
+    case CheckpointError::Kind::Malformed: return "malformed";
+  }
+  return "?";
+}
 
 std::size_t write_checkpoint(std::ostream& out, const Checkpoint& c) {
   out.write(kMagic, sizeof(kMagic));
@@ -93,17 +104,23 @@ Checkpoint read_checkpoint(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    throw std::runtime_error("columbia checkpoint: bad magic");
+    throw CheckpointError(CheckpointError::Kind::BadMagic, "bad magic");
   std::uint32_t version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kVersion)
-    throw std::runtime_error("columbia checkpoint: unsupported version");
+  if (!in)
+    throw CheckpointError(CheckpointError::Kind::Truncated, "truncated");
+  if (version != kVersion)
+    throw CheckpointError(
+        CheckpointError::Kind::BadVersion,
+        "unsupported version " + std::to_string(version) + " (reader is " +
+            std::to_string(kVersion) + ")");
 
   CrcReader r(in);
   Checkpoint c;
   const auto solver_len = r.get<std::uint32_t>();
   if (solver_len > 64)
-    throw std::runtime_error("columbia checkpoint: implausible solver tag");
+    throw CheckpointError(CheckpointError::Kind::Malformed,
+                          "implausible solver tag");
   c.solver.resize(solver_len);
   r.get_bytes(c.solver.data(), solver_len);
   c.cycle = r.get<std::uint64_t>();
@@ -118,21 +135,22 @@ Checkpoint read_checkpoint(std::istream& in) {
   const std::uint32_t computed = r.crc();
   std::uint32_t stored = 0;
   in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-  if (!in) throw std::runtime_error("columbia checkpoint: truncated");
+  if (!in)
+    throw CheckpointError(CheckpointError::Kind::Truncated, "truncated");
   if (stored != computed)
-    throw std::runtime_error("columbia checkpoint: CRC mismatch");
+    throw CheckpointError(CheckpointError::Kind::CrcMismatch, "CRC mismatch");
   return c;
 }
 
 bool write_checkpoint_file(const std::string& path, const Checkpoint& c) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    write_checkpoint(out, c);
-    if (!out) return false;
-  }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  // Serialize in memory, publish through the durable-write discipline
+  // (staged + fsync + rename + directory sync): the checkpoint a recovery
+  // depends on must actually be on disk, not in a page cache a crash can
+  // eat.
+  std::ostringstream buf(std::ios::binary);
+  write_checkpoint(buf, c);
+  if (!buf) return false;
+  return support::durable_write_file(path, buf.str());
 }
 
 std::optional<Checkpoint> try_read_checkpoint_file(const std::string& path) {

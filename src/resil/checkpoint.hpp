@@ -13,16 +13,40 @@
 //   payload = u32 solver_len | solver bytes | u64 cycle | u64 stride
 //           | u64 nhist | nhist f64 | u64 nstate | nstate f64
 // Readers reject bad magic, unknown versions, truncation, and checksum
-// mismatch with std::runtime_error.
+// mismatch with a typed CheckpointError (a std::runtime_error), so restore
+// paths can tell WHY a snapshot was unusable without string-matching.
+// Files are written through support::durable_write_file (staged, fsynced,
+// renamed, directory-synced): recovery is only as trustworthy as the last
+// checkpoint's durability.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace columbia::resil {
+
+/// Why a checkpoint could not be read. Every reader failure carries one:
+///   BadMagic    not a checkpoint file (or the header itself was mangled)
+///   BadVersion  a real checkpoint from an incompatible format revision
+///   Truncated   ends mid-payload — an interrupted or torn write
+///   CrcMismatch right length, wrong bytes — silent corruption
+///   Malformed   internally inconsistent fields (implausible sizes)
+class CheckpointError : public std::runtime_error {
+ public:
+  enum class Kind { BadMagic, BadVersion, Truncated, CrcMismatch, Malformed };
+  CheckpointError(Kind kind, const std::string& what)
+      : std::runtime_error("columbia checkpoint: " + what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+const char* checkpoint_error_kind_name(CheckpointError::Kind k);
 
 struct Checkpoint {
   std::string solver;            // "nsu3d" | "cart3d" | ...
@@ -35,13 +59,15 @@ struct Checkpoint {
 /// Writes `c` to the stream; returns bytes written.
 std::size_t write_checkpoint(std::ostream& out, const Checkpoint& c);
 
-/// Reads a checkpoint written by write_checkpoint. Throws
-/// std::runtime_error on bad magic/version, truncation, or CRC mismatch.
+/// Reads a checkpoint written by write_checkpoint. Throws CheckpointError
+/// on bad magic/version, truncation, or CRC mismatch — and never returns
+/// partial state: the Checkpoint is only handed back once fully validated.
 Checkpoint read_checkpoint(std::istream& in);
 
-/// Durable write: writes to `path` + ".tmp" and renames, so a crash
-/// mid-write never clobbers the previous good checkpoint. False on I/O
-/// failure.
+/// Durable write via support::durable_write_file (staged, fsynced,
+/// renamed): a crash mid-write never clobbers the previous good
+/// checkpoint, and a published checkpoint survives power loss. False on
+/// I/O failure.
 bool write_checkpoint_file(const std::string& path, const Checkpoint& c);
 
 /// Loads `path` if it exists and validates; std::nullopt when the file is

@@ -17,7 +17,8 @@ namespace {
 /// each kind.
 constexpr std::array<std::uint64_t, kNumFaultKinds> kKindSalt = {
     0x9e3779b97f4a7c15ull, 0xc2b2ae3d27d4eb4full, 0x165667b19e3779f9ull,
-    0x27d4eb2f165667c5ull};
+    0x27d4eb2f165667c5ull, 0x85ebca6b27d4eb4full, 0xc2b2ae3585ebca77ull,
+    0xff51afd7ed558ccdull, 0xc4ceb9fe1a85ec53ull};
 
 double parse_number(const std::string& tok) {
   std::size_t pos = 0;
@@ -32,6 +33,10 @@ void bump_obs(FaultKind k) {
     case FaultKind::HaloDrop: OBS_COUNT("resil.fault.halo_drop", 1); break;
     case FaultKind::StateNaN: OBS_COUNT("resil.fault.state_nan", 1); break;
     case FaultKind::CaseThrow: OBS_COUNT("resil.fault.case_throw", 1); break;
+    case FaultKind::MsgDelay: OBS_COUNT("resil.fault.msg_delay", 1); break;
+    case FaultKind::MsgDrop: OBS_COUNT("resil.fault.msg_drop", 1); break;
+    case FaultKind::ConnReset: OBS_COUNT("resil.fault.conn_reset", 1); break;
+    case FaultKind::PeerHang: OBS_COUNT("resil.fault.peer_hang", 1); break;
   }
 }
 
@@ -43,11 +48,50 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::HaloDrop: return "halo_drop";
     case FaultKind::StateNaN: return "state_nan";
     case FaultKind::CaseThrow: return "case_throw";
+    case FaultKind::MsgDelay: return "msg_delay";
+    case FaultKind::MsgDrop: return "msg_drop";
+    case FaultKind::ConnReset: return "conn_reset";
+    case FaultKind::PeerHang: return "peer_hang";
   }
   return "?";
 }
 
+const std::string& fault_grammar_help() {
+  static const std::string help = [] {
+    std::string s =
+        "COLUMBIA_FAULTS grammar: seed=<u64>[,<kind>=<rate>[@<max>]]...\n"
+        "  kinds:";
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+      s += k == 0 ? " " : " | ";
+      s += fault_kind_name(FaultKind(k));
+    }
+    s +=
+        "\n"
+        "  <rate> is the per-opportunity probability in [0, 1]; @<max> caps\n"
+        "  the total injections of that kind. Exception: msg_delay's @ suffix\n"
+        "  is the injected latency in milliseconds (default 10).\n"
+        "  example: seed=42,state_nan=0.25@1,msg_drop=0.1,peer_hang=1@1";
+    return s;
+  }();
+  return help;
+}
+
+namespace {
+/// Distinguishes our own diagnostics from std::stod's bare
+/// invalid_argument inside parse_fault_spec's catch blocks.
+struct ParseFail : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+}  // namespace
+
 FaultSpec parse_fault_spec(const std::string& spec) {
+  // Every rejection names the offending token AND restates the whole
+  // grammar: a typo'd COLUMBIA_FAULTS is usually fixed from the error
+  // message alone, without digging up this file.
+  const auto fail = [](const std::string& detail) {
+    throw ParseFail("COLUMBIA_FAULTS: " + detail + "\n" +
+                    fault_grammar_help());
+  };
   FaultSpec out;
   std::size_t start = 0;
   while (start <= spec.size()) {
@@ -61,8 +105,7 @@ FaultSpec parse_fault_spec(const std::string& spec) {
     }
     const std::size_t eq = tok.find('=');
     if (eq == std::string::npos)
-      throw std::invalid_argument("COLUMBIA_FAULTS: token '" + tok +
-                                  "' is not key=value");
+      fail("token '" + tok + "' is not key=value");
     const std::string key = tok.substr(0, eq);
     std::string val = tok.substr(eq + 1);
     try {
@@ -73,24 +116,31 @@ FaultSpec parse_fault_spec(const std::string& spec) {
       int kind = -1;
       for (int k = 0; k < kNumFaultKinds; ++k)
         if (key == fault_kind_name(FaultKind(k))) kind = k;
-      if (kind < 0)
-        throw std::invalid_argument("unknown fault kind '" + key + "'");
-      std::uint64_t cap = std::numeric_limits<std::uint64_t>::max();
+      if (kind < 0) fail("unknown fault kind '" + key + "' in '" + tok + "'");
+      std::uint64_t at_value = 0;
+      bool has_at = false;
       const std::size_t at = val.find('@');
       if (at != std::string::npos) {
-        cap = std::stoull(val.substr(at + 1));
+        at_value = std::stoull(val.substr(at + 1));
+        has_at = true;
         val = val.substr(0, at);
       }
       const double rate = parse_number(val);
       if (!(rate >= 0.0 && rate <= 1.0))
-        throw std::invalid_argument("rate outside [0, 1]");
+        fail("rate outside [0, 1] in '" + tok + "'");
       out.rate[std::size_t(kind)] = rate;
-      out.max_count[std::size_t(kind)] = cap;
-    } catch (const std::invalid_argument&) {
+      if (has_at) {
+        // msg_delay's @ suffix parameterizes the fault (latency in ms)
+        // rather than capping it; every other kind's @ is the budget cap.
+        if (FaultKind(kind) == FaultKind::MsgDelay)
+          out.param[std::size_t(kind)] = at_value;
+        else
+          out.max_count[std::size_t(kind)] = at_value;
+      }
+    } catch (const ParseFail&) {
       throw;
     } catch (const std::exception&) {
-      throw std::invalid_argument("COLUMBIA_FAULTS: bad value in '" + tok +
-                                  "'");
+      fail("bad value in '" + tok + "'");
     }
   }
   return out;

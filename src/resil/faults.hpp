@@ -13,12 +13,27 @@
 //
 //   seed=<u64>[,<kind>=<rate>[@<max>]]...
 //   kinds: halo_corrupt | halo_drop | state_nan | case_throw
+//        | msg_delay | msg_drop | conn_reset | peer_hang
 //
 // `rate` is the per-opportunity probability in [0, 1]; `@max` optionally
 // caps the total injections of that kind (the cap is exact under
 // sequential opportunities; under concurrent ones the *selected* sites are
 // still deterministic but which of them land within the cap can race).
 // Example: COLUMBIA_FAULTS="seed=42,state_nan=0.25@1,halo_corrupt=0.1".
+//
+// The msg_* / conn_reset / peer_hang kinds fire at the multi-process
+// transport seam (core::ExchangePlan over a core::Transport backend):
+//   msg_delay  holds a frame for a fixed latency before the send — here
+//              alone, `@<ms>` sets that latency in milliseconds (default
+//              10) instead of an injection cap;
+//   msg_drop   swallows the frame on the wire (the receiver times out and
+//              the sender retransmits);
+//   conn_reset tears down the peer connection mid-message (the transport
+//              reconnects and retransmits);
+//   peer_hang  stops the selected rank responding entirely, heartbeats
+//              included — the site is the group rank, so which ranks hang
+//              is reproducible; the launcher's failure detector must kill
+//              the group and resume from the last durable checkpoint.
 #pragma once
 
 #include <array>
@@ -34,19 +49,33 @@
 
 namespace columbia::resil {
 
-enum class FaultKind : int { HaloCorrupt = 0, HaloDrop, StateNaN, CaseThrow };
-inline constexpr int kNumFaultKinds = 4;
+enum class FaultKind : int {
+  HaloCorrupt = 0,
+  HaloDrop,
+  StateNaN,
+  CaseThrow,
+  // Transport-seam kinds (multi-process wire layer).
+  MsgDelay,
+  MsgDrop,
+  ConnReset,
+  PeerHang,
+};
+inline constexpr int kNumFaultKinds = 8;
 
 const char* fault_kind_name(FaultKind k);
 
 struct FaultSpec {
   std::uint64_t seed = 0;
   std::array<double, kNumFaultKinds> rate{};
-  std::array<std::uint64_t, kNumFaultKinds> max_count{
-      std::numeric_limits<std::uint64_t>::max(),
-      std::numeric_limits<std::uint64_t>::max(),
-      std::numeric_limits<std::uint64_t>::max(),
-      std::numeric_limits<std::uint64_t>::max()};
+  std::array<std::uint64_t, kNumFaultKinds> max_count{};
+  /// Per-kind shape parameter. Only msg_delay uses one today: the injected
+  /// latency in milliseconds, set by that kind's `@` suffix.
+  std::array<std::uint64_t, kNumFaultKinds> param{};
+
+  FaultSpec() {
+    max_count.fill(std::numeric_limits<std::uint64_t>::max());
+    param[std::size_t(FaultKind::MsgDelay)] = 10;
+  }
 
   bool any() const {
     for (double r : rate)
@@ -55,8 +84,13 @@ struct FaultSpec {
   }
 };
 
+/// One-paragraph rendering of the full COLUMBIA_FAULTS grammar — embedded
+/// in every parse error and printed by the examples' --faults-help.
+const std::string& fault_grammar_help();
+
 /// Parses the COLUMBIA_FAULTS grammar above. Throws std::invalid_argument
-/// on malformed input (unknown kind, rate outside [0, 1], bad number).
+/// on malformed input (unknown kind, rate outside [0, 1], bad number); the
+/// exception message names the offending token AND the full grammar.
 FaultSpec parse_fault_spec(const std::string& spec);
 
 /// Thrown by injected case-worker crashes (FaultKind::CaseThrow).

@@ -80,7 +80,7 @@ GuardedSolveResult guarded_solve(const GuardedSolveOptions& opt,
     if (due || r <= target) {
       good = cb.snapshot(cycle, out.history);
       OBS_COUNT("resil.checkpoint.write", 1);
-      if (!opt.checkpoint_path.empty())
+      if (!opt.checkpoint_path.empty() && opt.checkpoint_write)
         write_checkpoint_file(opt.checkpoint_path, good);
     }
     if (r <= target) break;

@@ -45,6 +45,11 @@ struct GuardedSolveOptions {
   int checkpoint_interval = 5;  // cycles between snapshots
   /// Load checkpoint_path before starting when it exists and matches.
   bool resume = true;
+  /// Write snapshots to checkpoint_path. SPMD process groups set this on
+  /// rank 0 only — every member still resumes from the shared file, but a
+  /// single writer owns it (concurrent writers would race on the staging
+  /// file). In-memory rollback snapshots are unaffected.
+  bool checkpoint_write = true;
 };
 
 struct GuardedSolveResult {

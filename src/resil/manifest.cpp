@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/durable.hpp"
+
 namespace columbia::resil {
 
 SweepManifest::SweepManifest(std::string path) : path_(std::move(path)) {
@@ -40,15 +42,16 @@ const ManifestEntry* SweepManifest::find(std::uint64_t case_id) const {
 void SweepManifest::record(const ManifestEntry& e) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_[e.case_id] = e;
-  std::ofstream out(path_, std::ios::app);
-  if (!out) return;
   char buf[512];
   int n = std::snprintf(buf, sizeof(buf), "case %llu %s",
                         static_cast<unsigned long long>(e.case_id),
                         e.status.c_str());
   for (double v : e.values)
     n += std::snprintf(buf + n, sizeof(buf) - std::size_t(n), " %.17g", v);
-  out << buf << '\n' << std::flush;
+  // Durable append (staged + fsync + rename): a manifest entry is a
+  // promise that the case never re-runs, so it must survive a crash that
+  // lands right after the sweep moves on.
+  support::durable_append_line(path_, buf);
 }
 
 std::size_t SweepManifest::size() const {

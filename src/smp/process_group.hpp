@@ -1,0 +1,98 @@
+// Fork-based rank launcher with a heartbeat failure detector.
+//
+// ProcessGroup::run forks one OS process per rank, hands each child a
+// Transport endpoint onto the group fabric (shared-memory rings or TCP
+// sockets, built pre-fork), and watches them: every child pulses a
+// per-rank heartbeat counter in an anonymous MAP_SHARED control block;
+// the parent polls exits AND heartbeat freshness. A child that dies is
+// reaped; a child whose heartbeat stalls (the injected peer_hang, a
+// deadlock, a livelock) is declared hung, the whole group is killed, and
+// the launcher reports it — a hang NEVER propagates to the caller as a
+// hang. Transport failure counters are mirrored into the control block,
+// so the parent can aggregate resil.transport.* across ranks even from
+// children that did not exit cleanly.
+//
+// run_recovering is the rank-failure recovery driver: when a round fails
+// (hang, crash, nonzero exit), it strips peer_hang from the process-wide
+// fault injector — relaunching IS replacing the dead node; a deterministic
+// hang would otherwise re-fire forever — and re-forks the group. Children
+// resume from the last durable resil::checkpoint via their own body logic
+// (resil::guarded_solve with resume=true).
+//
+// Fork discipline: the parent must not have live worker threads the
+// children depend on (a forked child inherits memory but NOT threads).
+// Launch before touching the global smp thread pool; children create
+// their pools after the fork.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/transport.hpp"
+
+namespace columbia::smp {
+
+enum class GroupBackend { Shm, Tcp };
+const char* group_backend_name(GroupBackend b);
+
+struct ProcessGroupOptions {
+  int ranks = 2;
+  GroupBackend backend = GroupBackend::Shm;
+  /// Child heartbeat period.
+  int heartbeat_ms = 25;
+  /// A running child whose heartbeat has not advanced for this long is
+  /// declared hung.
+  int stall_ms = 2000;
+  /// Whole-group watchdog; 0 disables. The group is killed when it fires.
+  int wall_timeout_ms = 120000;
+  /// Per-pair ring capacity for the Shm backend.
+  std::size_t shm_ring_bytes = std::size_t(1) << 20;
+};
+
+/// One rank's fate, as the parent saw it.
+struct MemberReport {
+  int exit_code = -1;     // valid when exited
+  bool exited = false;    // normal _exit
+  bool signaled = false;  // killed by a signal (including our SIGKILL)
+  bool hung = false;      // heartbeat stalled; we killed it
+  std::uint64_t heartbeats = 0;
+  core::TransportCounters counters;
+};
+
+struct GroupResult {
+  /// Every rank exited with code 0.
+  bool ok = false;
+  /// At least one rank was declared hung by the failure detector.
+  bool hung = false;
+  std::vector<MemberReport> members;
+  /// Sum of all members' transport counters (heartbeats included).
+  core::TransportCounters total;
+
+  int first_failure_exit() const;
+};
+
+class ProcessGroup {
+ public:
+  /// Runs in the forked child: do the rank's work against the endpoint,
+  /// return the process exit code (0 = success). Exceptions escaping the
+  /// body exit with kExitUncaught.
+  using Body = std::function<int(int rank, core::Transport& transport)>;
+
+  static constexpr int kExitUncaught = 70;
+
+  /// Forks opts.ranks children, supervises them, reaps them all. Never
+  /// hangs longer than the watchdog allows.
+  static GroupResult run(const ProcessGroupOptions& opts, const Body& body);
+
+  /// run() with relaunch-on-failure: after a failed round the injected
+  /// peer_hang is disarmed (the relaunch replaces the "dead node") and the
+  /// group is re-forked, up to max_relaunches extra rounds. relaunches_out
+  /// (optional) reports how many recoveries happened.
+  static GroupResult run_recovering(const ProcessGroupOptions& opts,
+                                    const Body& body, int max_relaunches = 1,
+                                    int* relaunches_out = nullptr);
+};
+
+}  // namespace columbia::smp

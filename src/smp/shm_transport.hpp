@@ -1,0 +1,68 @@
+// POSIX shared-memory transport between forked OS processes.
+//
+// A ShmGroup owns one anonymous MAP_SHARED mapping holding an SPSC byte
+// ring per directed member pair. The parent creates the group BEFORE
+// forking; every child inherits the mapping and drives its endpoint
+// (ShmGroup::endpoint) against the rings. Datagrams travel length-prefixed
+// ([u32 length][bytes]); the producer publishes the tail index with
+// release ordering only after the whole datagram is written, so a consumer
+// that observes the tail sees complete messages — the ring never delivers
+// a torn datagram (the frame checksum above would catch one anyway).
+//
+// Failure semantics: send() reports false when the ring stays full past a
+// bounded wait (the peer stopped draining); recv() polls until the
+// deadline; inject_reset drops everything in flight toward this member,
+// which is what a real link reset does to unacknowledged data.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/transport.hpp"
+
+namespace columbia::smp {
+
+struct ShmGroupOptions {
+  /// Per-directed-pair ring capacity in bytes. Must exceed the largest
+  /// datagram (wire header + framed payload) by at least the length
+  /// prefix.
+  std::size_t ring_bytes = std::size_t(1) << 20;
+};
+
+/// One SPSC ring: head is the consumer cursor, tail the producer cursor
+/// (both monotone; the ring holds tail - head live bytes). Lives inside
+/// the shared mapping, so members must be trivially layout-stable.
+struct ShmRing {
+  alignas(64) std::atomic<std::uint64_t> head;
+  alignas(64) std::atomic<std::uint64_t> tail;
+};
+
+/// The shared fabric. Construct in the parent BEFORE forking; endpoints
+/// work from the parent (loopback harness) or any forked child. The group
+/// must outlive every endpoint using it (in a child, for the child's
+/// lifetime — the mapping is released by _exit).
+class ShmGroup {
+ public:
+  explicit ShmGroup(int size, ShmGroupOptions options = {});
+  ~ShmGroup();
+  ShmGroup(const ShmGroup&) = delete;
+  ShmGroup& operator=(const ShmGroup&) = delete;
+
+  int size() const { return size_; }
+  std::size_t ring_bytes() const { return opt_.ring_bytes; }
+
+  std::unique_ptr<core::Transport> endpoint(int rank);
+
+  ShmRing& ring(int from, int to);
+  std::uint8_t* ring_data(int from, int to);
+
+ private:
+  int size_;
+  ShmGroupOptions opt_;
+  std::size_t stride_ = 0;  // bytes per (ring header + buffer), 64-aligned
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+};
+
+}  // namespace columbia::smp

@@ -1,0 +1,350 @@
+#include "smp/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace columbia::smp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point until) {
+  const auto d = std::chrono::duration_cast<std::chrono::milliseconds>(
+      until - Clock::now());
+  return int(std::max<std::int64_t>(d.count(), 0));
+}
+
+void close_quiet(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+/// Blocking write of the whole buffer; false once the connection is gone.
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += std::size_t(w);
+    n -= std::size_t(w);
+  }
+  return true;
+}
+
+class TcpTransport final : public core::Transport {
+ public:
+  TcpTransport(int rank, std::vector<std::uint16_t> ports, int listen_fd,
+               TcpGroupOptions opt)
+      : rank_(rank),
+        ports_(std::move(ports)),
+        listen_fd_(listen_fd),
+        opt_(opt),
+        links_(ports_.size()) {}
+
+  ~TcpTransport() override {
+    for (Link& l : links_) {
+      close_quiet(l.out_fd);
+      if (l.in_fd != l.out_fd) close_quiet(l.in_fd);
+      l.in_fd = -1;
+    }
+    close_quiet(listen_fd_);
+  }
+
+  core::TransportBackend backend() const override {
+    return core::TransportBackend::Tcp;
+  }
+  int group_rank() const override { return rank_; }
+  int group_size() const override { return int(ports_.size()); }
+
+  bool send(int to, std::span<const std::uint8_t> datagram) override {
+    COLUMBIA_REQUIRE(to >= 0 && to < group_size());
+    if (!ensure_link(to)) return false;
+    Link& l = links_[std::size_t(to)];
+    const std::uint32_t len = std::uint32_t(datagram.size());
+    std::uint8_t prefix[4];
+    std::memcpy(prefix, &len, 4);
+    if (write_all(l.out_fd, prefix, 4) &&
+        write_all(l.out_fd, datagram.data(), datagram.size()))
+      return true;
+    drop_link(l);
+    return false;
+  }
+
+  core::RecvOutcome recv(int from, std::vector<std::uint8_t>& datagram,
+                         int deadline_ms) override {
+    COLUMBIA_REQUIRE(from >= 0 && from < group_size());
+    const auto until = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    if (!ensure_link(from, until))
+      return links_[std::size_t(from)].gone ? core::RecvOutcome::PeerGone
+                                            : core::RecvOutcome::Timeout;
+    Link& l = links_[std::size_t(from)];
+    for (;;) {
+      if (extract_datagram(l, datagram)) return core::RecvOutcome::Ok;
+      const int wait = remaining_ms(until);
+      struct pollfd pfd = {l.in_fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, std::max(wait, 0));
+      if (pr == 0) return core::RecvOutcome::Timeout;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        drop_link(l);
+        return core::RecvOutcome::Reset;
+      }
+      std::uint8_t chunk[16384];
+      const ssize_t n = ::recv(l.in_fd, chunk, sizeof chunk, 0);
+      if (n == 0) {
+        drop_link(l);
+        return core::RecvOutcome::Closed;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        drop_link(l);
+        return core::RecvOutcome::Reset;
+      }
+      l.rx.insert(l.rx.end(), chunk, chunk + n);
+    }
+  }
+
+  bool reconnect(int peer) override {
+    COLUMBIA_REQUIRE(peer >= 0 && peer < group_size());
+    drop_link(links_[std::size_t(peer)]);
+    return ensure_link(peer);
+  }
+
+  /// Abrupt close with SO_LINGER 0: the kernel sends RST, so the peer
+  /// observes ECONNRESET — the genuine article, not a clean FIN.
+  void inject_reset(int peer) override {
+    COLUMBIA_REQUIRE(peer >= 0 && peer < group_size());
+    Link& l = links_[std::size_t(peer)];
+    if (l.out_fd >= 0) {
+      struct linger lg = {1, 0};
+      ::setsockopt(l.out_fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    }
+    drop_link(l);
+  }
+
+ private:
+  struct Link {
+    int out_fd = -1;               // where our datagrams go
+    int in_fd = -1;                // where the peer's arrive (== out_fd
+                                   // except for the self-pair)
+    std::vector<std::uint8_t> rx;  // undelivered stream bytes
+    /// Proven peer exit: every listener predates the fork and a group
+    /// incarnation never reuses ports, so a refused connect means the
+    /// peer process closed its listener by exiting. Sticky — the peer
+    /// cannot come back within this group's lifetime.
+    bool gone = false;
+  };
+
+  void drop_link(Link& l) {
+    if (l.in_fd != l.out_fd) close_quiet(l.in_fd);
+    l.in_fd = -1;
+    close_quiet(l.out_fd);
+    l.rx.clear();
+  }
+
+  static bool extract_datagram(Link& l, std::vector<std::uint8_t>& out) {
+    if (l.rx.size() < 4) return false;
+    std::uint32_t len;
+    std::memcpy(&len, l.rx.data(), 4);
+    if (l.rx.size() < 4 + std::size_t(len)) return false;
+    out.assign(l.rx.begin() + 4, l.rx.begin() + 4 + len);
+    l.rx.erase(l.rx.begin(), l.rx.begin() + 4 + len);
+    return true;
+  }
+
+  bool ensure_link(int peer) {
+    return ensure_link(
+        peer, Clock::now() + std::chrono::milliseconds(opt_.connect_timeout_ms));
+  }
+
+  bool ensure_link(int peer, Clock::time_point until) {
+    Link& l = links_[std::size_t(peer)];
+    if (l.out_fd >= 0) return true;
+    if (l.gone) return false;
+    if (peer == rank_) return link_self(until);
+    if (peer < rank_) return link_connect(peer, until);
+    return link_accept(peer, until);
+  }
+
+  /// -1 = deadline expired, -2 = the peer's listener refuses connections
+  /// (the peer process exited; see Link::gone).
+  int connect_to(int peer, Clock::time_point until) {
+    // The peer's listener predates the fork, so a connect is only ever
+    // refused once the peer has exited. A few confirming retries guard
+    // against exotic kernel races; anything else retries to the deadline.
+    int refused = 0;
+    for (;;) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      COLUMBIA_REQUIRE(fd >= 0);
+      struct sockaddr_in addr = {};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(ports_[std::size_t(peer)]);
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof addr) == 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return fd;
+      }
+      const bool was_refused = errno == ECONNREFUSED;
+      ::close(fd);
+      refused = was_refused ? refused + 1 : 0;
+      if (refused >= 3) return -2;
+      if (Clock::now() >= until) return -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  /// Connect side (peer < rank_, or the self-pair's outgoing half):
+  /// connect and introduce ourselves.
+  bool link_connect(int peer, Clock::time_point until) {
+    const int fd = connect_to(peer, until);
+    if (fd == -2) links_[std::size_t(peer)].gone = true;
+    if (fd < 0) return false;
+    const std::uint32_t hello = std::uint32_t(rank_);
+    if (!write_all(fd, reinterpret_cast<const std::uint8_t*>(&hello), 4)) {
+      int tmp = fd;
+      close_quiet(tmp);
+      return false;
+    }
+    Link& l = links_[std::size_t(peer)];
+    l.out_fd = l.in_fd = fd;
+    return true;
+  }
+
+  /// Accept side (peer > rank_): accept connections on our listener until
+  /// the wanted peer introduces itself; other peers' connections are
+  /// stored for later.
+  bool link_accept(int peer, Clock::time_point until) {
+    COLUMBIA_REQUIRE(listen_fd_ >= 0);
+    while (links_[std::size_t(peer)].out_fd < 0) {
+      struct pollfd pfd = {listen_fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, std::max(remaining_ms(until), 0));
+      if (pr == 0) return false;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      std::uint32_t hello = 0;
+      if (!read_exact(fd, reinterpret_cast<std::uint8_t*>(&hello), 4, until) ||
+          int(hello) < 0 || int(hello) >= group_size()) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      Link& l = links_[std::size_t(hello)];
+      drop_link(l);  // a reconnecting peer supersedes its dead link
+      l.out_fd = l.in_fd = fd;
+    }
+    return true;
+  }
+
+  /// Self-pair: connect to our own listener (the handshake completes
+  /// against the backlog, no concurrent accept needed), then accept the
+  /// other end. out = the connected half, in = the accepted half.
+  bool link_self(Clock::time_point until) {
+    const int out = connect_to(rank_, until);
+    if (out < 0) return false;
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, std::max(remaining_ms(until), 1)) <= 0) {
+      int tmp = out;
+      close_quiet(tmp);
+      return false;
+    }
+    const int in = ::accept(listen_fd_, nullptr, nullptr);
+    if (in < 0) {
+      int tmp = out;
+      close_quiet(tmp);
+      return false;
+    }
+    Link& l = links_[std::size_t(rank_)];
+    l.out_fd = out;
+    l.in_fd = in;
+    return true;
+  }
+
+  static bool read_exact(int fd, std::uint8_t* p, std::size_t n,
+                         Clock::time_point until) {
+    while (n > 0) {
+      struct pollfd pfd = {fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, std::max(remaining_ms(until), 0));
+      if (pr <= 0 && errno != EINTR) return false;
+      if (pr <= 0) continue;
+      const ssize_t r = ::recv(fd, p, n, 0);
+      if (r == 0) return false;
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += std::size_t(r);
+      n -= std::size_t(r);
+    }
+    return true;
+  }
+
+  int rank_;
+  std::vector<std::uint16_t> ports_;
+  int listen_fd_;
+  TcpGroupOptions opt_;
+  std::vector<Link> links_;
+};
+
+}  // namespace
+
+TcpGroup::TcpGroup(int size, TcpGroupOptions options)
+    : size_(size), opt_(options) {
+  COLUMBIA_REQUIRE(size >= 1);
+  listen_fds_.resize(std::size_t(size), -1);
+  ports_.resize(std::size_t(size), 0);
+  for (int r = 0; r < size; ++r) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    COLUMBIA_REQUIRE(fd >= 0);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    COLUMBIA_REQUIRE(::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                            sizeof addr) == 0);
+    COLUMBIA_REQUIRE(::listen(fd, size + 1) == 0);
+    socklen_t alen = sizeof addr;
+    COLUMBIA_REQUIRE(::getsockname(
+                         fd, reinterpret_cast<struct sockaddr*>(&addr),
+                         &alen) == 0);
+    listen_fds_[std::size_t(r)] = fd;
+    ports_[std::size_t(r)] = ntohs(addr.sin_port);
+  }
+}
+
+TcpGroup::~TcpGroup() {
+  for (int& fd : listen_fds_) close_quiet(fd);
+}
+
+std::unique_ptr<core::Transport> TcpGroup::endpoint(int rank) {
+  COLUMBIA_REQUIRE(rank >= 0 && rank < size_);
+  const int mine = listen_fds_[std::size_t(rank)];
+  COLUMBIA_REQUIRE(mine >= 0);
+  listen_fds_[std::size_t(rank)] = -1;
+  for (int& fd : listen_fds_) close_quiet(fd);
+  return std::make_unique<TcpTransport>(rank, ports_, mine, opt_);
+}
+
+}  // namespace columbia::smp

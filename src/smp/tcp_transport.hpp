@@ -1,0 +1,59 @@
+// TCP socket transport between OS processes (same host today; nothing in
+// the protocol assumes it).
+//
+// A TcpGroup binds one listening socket per member on 127.0.0.1, port 0
+// (kernel-assigned), BEFORE the launcher forks — so every member knows
+// every port and a connect can never be refused, only delayed. Each
+// member's endpoint establishes the full connection mesh on first use:
+// for every lower-ranked peer it connects and introduces itself with a
+// hello carrying its rank; for every higher-ranked peer it accepts and
+// reads the hello. Datagrams travel length-prefixed on the stream.
+//
+// Failure semantics: a read of 0 / ECONNRESET surfaces as
+// RecvOutcome::Closed / Reset; send() reports false on a broken pipe;
+// reconnect() re-runs the connect-or-accept handshake for that one peer
+// (the connect side initiates, the accept side waits). inject_reset
+// closes the socket with SO_LINGER 0 so the peer sees a genuine RST, not
+// a tidy shutdown. Self-pairs (loopback harness) connect to the member's
+// own listener, giving a real kernel-buffered TCP stream in one process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/transport.hpp"
+
+namespace columbia::smp {
+
+struct TcpGroupOptions {
+  /// Budget for establishing (or re-establishing) one peer link.
+  int connect_timeout_ms = 10000;
+};
+
+/// The pre-forked listener set. Construct in the parent; in each forked
+/// child call endpoint(rank) — it adopts rank's listener and closes the
+/// others' (fork duplicated them all). Usable unforked too (loopback).
+class TcpGroup {
+ public:
+  explicit TcpGroup(int size, TcpGroupOptions options = {});
+  ~TcpGroup();
+  TcpGroup(const TcpGroup&) = delete;
+  TcpGroup& operator=(const TcpGroup&) = delete;
+
+  int size() const { return size_; }
+  std::uint16_t port(int rank) const { return ports_[std::size_t(rank)]; }
+
+  /// Transfers ownership of rank's listener to the endpoint and closes
+  /// every other listener still held by this process. Call at most once
+  /// per process.
+  std::unique_ptr<core::Transport> endpoint(int rank);
+
+ private:
+  int size_;
+  TcpGroupOptions opt_;
+  std::vector<int> listen_fds_;
+  std::vector<std::uint16_t> ports_;
+};
+
+}  // namespace columbia::smp

@@ -1,27 +1,63 @@
 #include "support/durable.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 namespace columbia::support {
 
+namespace {
+
+/// fsync the directory holding `path` so the rename itself is durable
+/// (without this the new name can vanish in a crash even though the data
+/// blocks survived). Best-effort: some filesystems reject directory
+/// fsync; the file-data fsync already happened.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
 bool durable_write_file(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) return false;
-    os.write(content.data(), std::streamsize(content.size()));
-    os.flush();
-    if (!os) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const char* p = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ssize_t w = ::write(fd, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
       std::remove(tmp.c_str());
       return false;
     }
+    p += std::size_t(w);
+    left -= std::size_t(w);
+  }
+  // The staging file's data must be on disk BEFORE the rename publishes
+  // it; otherwise a crash can leave the new name pointing at garbage —
+  // exactly the torn artifact this helper exists to rule out.
+  const bool synced = ::fsync(fd) == 0;
+  if (::close(fd) != 0 || !synced) {
+    std::remove(tmp.c_str());
+    return false;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return false;
   }
+  sync_parent_dir(path);
   return true;
 }
 

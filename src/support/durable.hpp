@@ -1,8 +1,10 @@
-// Crash-durable file writes: stage the full new contents in `path + ".tmp"`
-// and std::rename it over the destination — the same discipline as
-// resil::checkpoint — so an aborted run leaves either the previous complete
-// file or the new complete file, never a truncated artifact for the perf
-// gate or report ingest to choke on.
+// Crash-durable file writes: stage the full new contents in `path + ".tmp"`,
+// fsync the staged data, rename it over the destination, and fsync the
+// parent directory — so an aborted run (or a power cut, which a bare
+// tmp+rename does NOT survive) leaves either the previous complete file or
+// the new complete file, never a truncated artifact. resil::checkpoint and
+// the run manifest write through these helpers; recovery-from-checkpoint
+// is only as trustworthy as this discipline.
 #pragma once
 
 #include <string>

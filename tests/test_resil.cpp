@@ -200,6 +200,58 @@ TEST(CheckpointIo, DurableFileWriteAndTolerantRead) {
   std::remove(path.c_str());
 }
 
+/// Every corruption mode must surface as the matching typed
+/// CheckpointError kind, not a generic failure: recovery code branches on
+/// kind() (a BadVersion file is an operator problem; a CrcMismatch is
+/// silent corruption worth alerting on).
+TEST(CheckpointIo, CorruptionModesRaiseTypedErrors) {
+  std::stringstream ss;
+  resil::write_checkpoint(ss, sample_checkpoint());
+  const std::string bytes = ss.str();
+
+  const auto kind_of = [](const std::string& raw) {
+    std::stringstream in(raw);
+    try {
+      resil::read_checkpoint(in);
+    } catch (const resil::CheckpointError& e) {
+      return e.kind();
+    }
+    return resil::CheckpointError::Kind::Malformed;
+  };
+
+  std::string magic = bytes;
+  magic[3] ^= 0x08;  // mangled header
+  EXPECT_EQ(kind_of(magic), resil::CheckpointError::Kind::BadMagic);
+
+  std::string version = bytes;
+  version[8] ^= 0x02;  // format revision u32 follows the 8-byte magic
+  EXPECT_EQ(kind_of(version), resil::CheckpointError::Kind::BadVersion);
+
+  EXPECT_EQ(kind_of(bytes.substr(0, bytes.size() - 5)),
+            resil::CheckpointError::Kind::Truncated);
+  EXPECT_EQ(kind_of(bytes.substr(0, 11)),
+            resil::CheckpointError::Kind::Truncated);
+
+  std::string flipped = bytes;
+  flipped[flipped.size() - 5] ^= 0x10;  // last payload byte, not the crc
+  EXPECT_EQ(kind_of(flipped), resil::CheckpointError::Kind::CrcMismatch);
+
+  std::string crc = bytes;
+  crc[crc.size() - 1] ^= 0x01;  // the stored crc itself
+  EXPECT_EQ(kind_of(crc), resil::CheckpointError::Kind::CrcMismatch);
+}
+
+TEST(CheckpointIo, SuccessfulWriteLeavesNoStagingFile) {
+  const std::string path = testing::TempDir() + "resil_ckpt_staged.bin";
+  std::remove(path.c_str());
+  ASSERT_TRUE(resil::write_checkpoint_file(path, sample_checkpoint()));
+  // The durable writer stages into <path>.tmp and publishes via rename;
+  // success must leave only the published file behind.
+  std::ifstream staged(path + ".tmp");
+  EXPECT_FALSE(staged.good());
+  std::remove(path.c_str());
+}
+
 // --- Bit-identical checkpoint/restart on both solvers ----------------------
 
 mesh::UnstructuredMesh small_wing() {
@@ -321,6 +373,42 @@ TEST(CheckpointRestart, RestoreRejectsWrongSolverOrShape) {
   resil::Checkpoint wrong_size = s.make_checkpoint(0, {});
   wrong_size.state.pop_back();
   EXPECT_THROW(s.restore_checkpoint(wrong_size), std::runtime_error);
+}
+
+/// A rejected restore must leave the solver exactly where it was: after
+/// the throw, the continued run stays bit-identical to a control solver
+/// that never saw the bad checkpoint — at every thread count.
+void check_failed_restore_mutates_nothing(int threads) {
+  PoolGuard guard;
+  smp::set_global_threads(threads);
+  const auto m = small_wing();
+
+  auto control = make_nsu3d(m);
+  auto victim = make_nsu3d(m);
+  control.run_cycle();
+  victim.run_cycle();
+
+  resil::Checkpoint wrong_tag = victim.make_checkpoint(1, {});
+  wrong_tag.solver = "cart3d";
+  EXPECT_THROW(victim.restore_checkpoint(wrong_tag), std::runtime_error);
+  resil::Checkpoint ragged = victim.make_checkpoint(1, {});
+  ragged.state.pop_back();
+  EXPECT_THROW(victim.restore_checkpoint(ragged), std::runtime_error);
+
+  for (int c = 0; c < 2; ++c)
+    EXPECT_EQ(victim.run_cycle(), control.run_cycle()) << "cycle " << c;
+}
+
+TEST(CheckpointRestart, FailedRestoreMutatesNothingSingleThread) {
+  check_failed_restore_mutates_nothing(1);
+}
+
+TEST(CheckpointRestart, FailedRestoreMutatesNothingTwoThreads) {
+  check_failed_restore_mutates_nothing(2);
+}
+
+TEST(CheckpointRestart, FailedRestoreMutatesNothingFourThreads) {
+  check_failed_restore_mutates_nothing(4);
 }
 
 // --- Guarded solves --------------------------------------------------------
@@ -548,6 +636,26 @@ TEST(SweepManifest, SkipsTruncatedTrailingLine) {
   EXPECT_TRUE(m.contains(0));
   EXPECT_FALSE(m.contains(1));
   EXPECT_EQ(m.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepManifest, SkipsCorruptedMiddleLinesAndKeepsTheRest) {
+  const std::string path = testing::TempDir() + "resil_manifest_corrupt.txt";
+  {
+    std::ofstream f(path);
+    f << "case 0 ok 1 2 3 4 5 6\n";
+    f << "garbage that is not a record\n";    // bit rot / editor accident
+    f << "case 2 ok 1 2 x 4 5 6\n";           // non-numeric value
+    f << "case 3 recovered 9 8 7 6 5 4\n";
+  }
+  resil::SweepManifest m(path);
+  EXPECT_TRUE(m.contains(0));
+  EXPECT_FALSE(m.contains(2));  // corrupt record re-runs, never half-loads
+  EXPECT_TRUE(m.contains(3));
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(3), nullptr);
+  EXPECT_EQ(m.find(3)->status, "recovered");
+  EXPECT_EQ(m.find(3)->values[0], 9.0);
   std::remove(path.c_str());
 }
 

@@ -20,6 +20,28 @@
 //   --faults SPEC              arm COLUMBIA_FAULTS fault injection
 //   --faults-help              print the COLUMBIA_FAULTS grammar and exit
 //   --relaunch N               recovery budget for dead/hung ranks
+//   --overlap 0|1              split post()/finish() exchanges riding the
+//                              multigrid level hooks (default 1)
+//   --agglomerate N            min level nodes per active rank; coarse
+//                              levels below it shrink their rank set
+//                              (paper Fig. 19; 0 disables, default 64)
+//   --trace PATH               record solver + halo.xchg spans and write a
+//                              Chrome trace (feed to `columbia_report comm`
+//                              for the per-level overlap/claimed table).
+//                              In-process only: use --backend threads
+//                              (forked ranks record in their own address
+//                              space and exit without exporting)
+//
+// Every multigrid level runs its own wire exchange per visit, posted on
+// entry to the level and finished after its pre-smoother (the split rides
+// core::MultigridDriver level hooks, so the exchange flies under the
+// smoother). Coarse levels whose partitions fall below --agglomerate
+// nodes/rank run on a shrunken active-rank set (idle members park), and a
+// dedicated transfer plan with differing sender/receiver active sets
+// carries the fine->coarse restriction pattern across the rank-set seam.
+// All of it is read-only validation traffic, so the history artifact
+// stays byte-identical across backends, strategies, overlap modes, and
+// agglomeration settings.
 //
 // Recovery semantics: a rank that dies (conn_reset exhausting the retry
 // budget, a crash) or hangs (peer_hang silencing its heartbeat) fails its
@@ -29,16 +51,19 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/exchange_plan.hpp"
+#include "core/multigrid.hpp"
 #include "core/transport.hpp"
 #include "mesh/builders.hpp"
 #include "nsu3d/partitioned.hpp"
 #include "nsu3d/solver.hpp"
+#include "obs/obs.hpp"
 #include "resil/faults.hpp"
 #include "resil/guard.hpp"
 #include "smp/pool.hpp"
@@ -60,6 +85,9 @@ struct Cli {
   std::string history;
   std::string faults;
   int relaunch = 2;
+  bool overlap = true;
+  index_t agglomerate = 64;
+  std::string trace;
 };
 
 void usage() {
@@ -68,6 +96,8 @@ void usage() {
       "  --backend threads|shm|tcp  --ranks N  --strategy t2t|master\n"
       "  --tpp N  --cycles N  --orders X  --checkpoint PATH\n"
       "  --history PATH  --faults SPEC  --relaunch N\n"
+      "  --overlap 0|1  --agglomerate N (min nodes/rank, 0 = off)\n"
+      "  --trace PATH   Chrome trace of the spans (--backend threads only)\n"
       "  --faults-help              print the COLUMBIA_FAULTS grammar\n");
 }
 
@@ -95,12 +125,23 @@ int solve_rank(int rank, core::Transport& t, const Cli& cli) {
   opt.smoother = nsu3d::SmootherKind::LineImplicit;
   nsu3d::Nsu3dSolver solver(wing, conditions, opt);
 
-  const index_t nnodes = solver.level(0).num_nodes;
-  std::vector<index_t> part(std::size_t(nnodes), 0);
-  for (index_t i = 0; i < nnodes; ++i)
-    part[std::size_t(i)] = i * kHaloParts / nnodes;
-  core::RequestLists requests =
-      nsu3d::halo_requests(solver.level(0), part, kHaloParts);
+  const int nl = solver.num_levels();
+
+  // Per-level active-rank schedule (paper Fig. 19): a coarse level keeps
+  // only enough group members to give each >= --agglomerate nodes.
+  std::vector<index_t> level_nodes;
+  for (int l = 0; l < nl; ++l) level_nodes.push_back(solver.level(l).num_nodes);
+  const core::AgglomerationSchedule sched = core::AgglomerationSchedule::build(
+      level_nodes, t.group_size(), cli.agglomerate);
+  if (rank == 0) {
+    for (int l = 0; l < nl; ++l)
+      std::printf("agglomeration: level %d nodes=%lld active=%d/%d%s\n", l,
+                  (long long)level_nodes[std::size_t(l)],
+                  sched.active[std::size_t(l)], sched.group_size,
+                  sched.active[std::size_t(l)] < sched.group_size
+                      ? " (agglomerated)"
+                      : "");
+  }
 
   core::ExchangePlanOptions xopt;
   xopt.strategy = cli.strategy;
@@ -112,38 +153,112 @@ int solve_rank(int rank, core::Transport& t, const Cli& cli) {
   xopt.wire.backoff_base_ms = 1;
   xopt.wire.backoff_max_ms = 8;
   xopt.wire.loopback_self = t.group_size() == 1;
-  core::ExchangePlan plan(std::move(requests), xopt);
+
+  // One wire exchange plan per multigrid level, each on its own (possibly
+  // agglomerated) active-rank set, plus the per-level partitioning it runs
+  // over. Contiguous node blocks; the modulo rank->member mapping spreads
+  // channels over the active members.
+  std::vector<std::vector<index_t>> part{std::size_t(nl),
+                                         std::vector<index_t>{}};
+  std::vector<std::unique_ptr<core::ExchangePlan>> plans;
+  for (int l = 0; l < nl; ++l) {
+    const index_t nn = level_nodes[std::size_t(l)];
+    auto& p = part[std::size_t(l)];
+    p.resize(std::size_t(nn));
+    for (index_t i = 0; i < nn; ++i) p[std::size_t(i)] = i * kHaloParts / nn;
+    core::ExchangePlanOptions lopt = xopt;
+    lopt.level = l;
+    lopt.active_members = sched.active[std::size_t(l)];
+    plans.push_back(std::make_unique<core::ExchangePlan>(
+        nsu3d::halo_requests(solver.level(l), p, kHaloParts), lopt));
+  }
+
+  // Transfer plan across the rank-set seam between the two coarsest
+  // levels: coarse partitions request the fine nodes whose agglomerate
+  // lands on them but whose fine owner is another partition (the
+  // restriction gather pattern). Sender ranks map through the fine
+  // level's active set, receivers through the coarse level's.
+  const int lf = nl - 2, lc = nl - 1;
+  core::RequestLists xfer_reqs{std::size_t(kHaloParts),
+                               std::vector<core::HaloRequest>{}};
+  {
+    const auto& fpart = part[std::size_t(lf)];
+    const auto& cpart = part[std::size_t(lc)];
+    const auto& to_coarse = solver.level(lf).to_coarse;
+    for (index_t v = 0; v < level_nodes[std::size_t(lf)]; ++v) {
+      const index_t fp = fpart[std::size_t(v)];
+      const index_t cp = cpart[std::size_t(to_coarse[std::size_t(v)])];
+      if (fp != cp) xfer_reqs[std::size_t(cp)].push_back({fp, v});
+    }
+  }
+  core::ExchangePlanOptions xfopt = xopt;
+  xfopt.level = lc;
+  xfopt.active_members = sched.active[std::size_t(lc)];
+  xfopt.sender_active_members = sched.active[std::size_t(lf)];
+  core::ExchangePlan xfer_plan(std::move(xfer_reqs), xfopt);
 
   // Replicated per-partition data: every member carries the full density
-  // array, so each rank can check the wire-delivered ghosts against the
-  // locally computed expectation — any silent corruption is a hard stop.
-  core::PartitionData data(std::size_t(kHaloParts), std::vector<real_t>{});
-  const auto halo_roundtrip = [&] {
-    const std::span<const nsu3d::State> u = solver.solution();
-    for (auto& d : data) {
-      d.resize(std::size_t(nnodes));
-      for (index_t i = 0; i < nnodes; ++i)
-        d[std::size_t(i)] = u[std::size_t(i)][0];
+  // array of the level, so each rank can check the wire-delivered ghosts
+  // against the locally computed expectation — any silent corruption is a
+  // hard stop. One buffer per level plan (posted on level entry, finished
+  // and validated after the pre-smoother) plus one for the transfer plan.
+  std::vector<core::PartitionData> data(
+      std::size_t(nl),
+      core::PartitionData(std::size_t(kHaloParts), std::vector<real_t>{}));
+  core::PartitionData xfer_data(std::size_t(kHaloParts),
+                                std::vector<real_t>{});
+
+  const auto pack_level = [&](int l, core::PartitionData& dst) {
+    const std::span<const nsu3d::State> u = solver.solution(l);
+    for (auto& d : dst) {
+      d.resize(u.size());
+      for (std::size_t i = 0; i < u.size(); ++i) d[i] = u[i][0];
     }
-    const core::PartitionData& got = plan.exchange(data);
+  };
+  const auto validate = [&](core::ExchangePlan& plan,
+                            const core::PartitionData& got,
+                            const core::PartitionData& want) {
     for (std::size_t p = 0; p < got.size(); ++p) {
       const auto& reqs = plan.requests()[p];
       for (std::size_t k = 0; k < reqs.size(); ++k) {
         const core::HaloRequest& r = reqs[k];
-        if (got[p][k] != data[std::size_t(r.from_partition)][std::size_t(r.item)])
+        if (got[p][k] !=
+            want[std::size_t(r.from_partition)][std::size_t(r.item)])
           throw std::runtime_error("halo ghost mismatch on rank " +
                                    std::to_string(rank));
       }
     }
   };
 
+  // Split exchange riding the level hooks: post on level entry, compute
+  // (the pre-smoother) runs with the frames in flight, finish + validate
+  // after. With --overlap 0 each exchange completes inside the begin hook
+  // instead — same wire traffic, no compute under it.
+  solver.set_level_hooks(
+      [&](int l) {
+        auto& plan = *plans[std::size_t(l)];
+        pack_level(l, data[std::size_t(l)]);
+        plan.post(data[std::size_t(l)]);
+        if (l == lc) {
+          pack_level(lf, xfer_data);
+          xfer_plan.post(xfer_data);
+        }
+        if (!cli.overlap) {
+          validate(plan, plan.finish(), data[std::size_t(l)]);
+          if (l == lc) validate(xfer_plan, xfer_plan.finish(), xfer_data);
+        }
+      },
+      [&](int l) {
+        if (!cli.overlap) return;
+        auto& plan = *plans[std::size_t(l)];
+        validate(plan, plan.finish(), data[std::size_t(l)]);
+        if (l == lc) validate(xfer_plan, xfer_plan.finish(), xfer_data);
+      });
+
   resil::GuardCallbacks cb;
   cb.solver = "nsu3d";
   cb.residual_norm = [&] { return solver.residual_norm(); };
-  cb.run_cycle = [&] {
-    halo_roundtrip();
-    return solver.run_cycle();
-  };
+  cb.run_cycle = [&] { return solver.run_cycle(); };
   cb.snapshot = [&](std::uint64_t cycle, std::span<const real_t> history) {
     return solver.make_checkpoint(cycle, history);
   };
@@ -160,7 +275,8 @@ int solve_rank(int rank, core::Transport& t, const Cli& cli) {
   // Exit grace: keep re-Acking duplicate frames until the wire is quiet,
   // so a peer whose final Ack was destroyed (conn_reset) is not stranded
   // retransmitting to an exited rank.
-  plan.drain();
+  for (auto& plan : plans) plan->drain();
+  xfer_plan.drain();
 
   if (rank == 0) {
     const nsu3d::Forces f = solver.integrate_forces();
@@ -302,6 +418,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(a, "--history") == 0) cli.history = argv[i + 1];
     if (std::strcmp(a, "--faults") == 0) cli.faults = argv[i + 1];
     if (std::strcmp(a, "--relaunch") == 0) cli.relaunch = std::atoi(argv[i + 1]);
+    if (std::strcmp(a, "--overlap") == 0) cli.overlap = std::atoi(argv[i + 1]) != 0;
+    if (std::strcmp(a, "--agglomerate") == 0)
+      cli.agglomerate = index_t(std::atoll(argv[i + 1]));
+    if (std::strcmp(a, "--trace") == 0) cli.trace = argv[i + 1];
   }
   if (cli.ranks < 1 || cli.tpp < 1 || kHaloParts % cli.tpp != 0) {
     std::fprintf(stderr, "bad --ranks/--tpp (tpp must divide %d)\n",
@@ -319,16 +439,34 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("distributed_solve: backend=%s ranks=%d strategy=%s\n",
-              cli.backend.c_str(), cli.ranks,
-              cli.strategy == core::ExchangeStrategy::MasterThread ? "master"
-                                                                   : "t2t");
+  std::printf(
+      "distributed_solve: backend=%s ranks=%d strategy=%s overlap=%d "
+      "agglomerate=%lld\n",
+      cli.backend.c_str(), cli.ranks,
+      cli.strategy == core::ExchangeStrategy::MasterThread ? "master" : "t2t",
+      cli.overlap ? 1 : 0, (long long)cli.agglomerate);
+  if (!cli.trace.empty()) obs::set_enabled(true);
   // Fork discipline: the process backends fork BEFORE any solver work has
   // touched the global thread pool; children build their own pools.
-  if (cli.backend == "threads") return run_threads(cli);
-  if (cli.backend == "shm") return run_processes(cli, smp::GroupBackend::Shm);
-  if (cli.backend == "tcp") return run_processes(cli, smp::GroupBackend::Tcp);
-  std::fprintf(stderr, "unknown --backend '%s'\n", cli.backend.c_str());
-  usage();
-  return 1;
+  int rc = 1;
+  if (cli.backend == "threads") {
+    rc = run_threads(cli);
+  } else if (cli.backend == "shm") {
+    rc = run_processes(cli, smp::GroupBackend::Shm);
+  } else if (cli.backend == "tcp") {
+    rc = run_processes(cli, smp::GroupBackend::Tcp);
+  } else {
+    std::fprintf(stderr, "unknown --backend '%s'\n", cli.backend.c_str());
+    usage();
+    return 1;
+  }
+  if (!cli.trace.empty()) {
+    smp::ThreadPool::global().publish_stats();
+    if (obs::write_chrome_trace_file(cli.trace))
+      std::printf("trace: %zu events -> %s\n", obs::num_trace_events(),
+                  cli.trace.c_str());
+    else
+      std::fprintf(stderr, "trace: cannot write %s\n", cli.trace.c_str());
+  }
+  return rc;
 }

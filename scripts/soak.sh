@@ -47,8 +47,13 @@ run ref-master "$WORK/ref-master.txt" --backend threads --ranks 2 \
   --strategy master --tpp 2
 
 # The fault matrix: every wire backend under every transport fault kind.
-# conn_reset is a connection-fabric fault, so it runs where connections
-# exist (tcp); the frame/timing faults run everywhere.
+# conn_reset tears down a connection (tcp) or flushes the peer-directed
+# ring mid-flight (shm); the frame/timing faults run everywhere. The
+# overlap-agg cells pin the interior/halo split AND coarse-level rank
+# agglomeration on explicitly, so msg_delay and conn_reset land while
+# exchanges are in flight between post() and finish() — delayed or
+# reset-flushed frames must be recovered by the finish()-side protocol
+# without perturbing the history.
 declare -a CELLS=(
   "shm-clean|shm|t2t||"
   "tcp-clean|tcp|t2t||"
@@ -58,15 +63,19 @@ declare -a CELLS=(
   "tcp-delay|tcp|t2t|seed=5,msg_delay=0.3@5|"
   "tcp-reset|tcp|t2t|seed=29,conn_reset=0.3|"
   "shm-hang|shm|t2t|seed=3,peer_hang=1@1|"
+  "shm-overlap-agg|shm|t2t|seed=7,msg_delay=0.2,conn_reset=0.05|--overlap 1 --agglomerate 64"
+  "tcp-overlap-agg|tcp|t2t|seed=11,msg_delay=0.2@5,conn_reset=0.1|--overlap 1 --agglomerate 64"
 )
 
 echo
 echo "== soak: fault matrix (backend x strategy x fault) =="
 for cell in "${CELLS[@]}"; do
-  IFS='|' read -r name backend strategy faults _ <<<"$cell"
+  IFS='|' read -r name backend strategy faults extra <<<"$cell"
   args=(--backend "$backend" --ranks 2 --strategy "$strategy")
   [[ "$strategy" == master ]] && args+=(--tpp 2)
   [[ -n "$faults" ]] && args+=(--faults "$faults")
+  # shellcheck disable=SC2206 — extra is a deliberate word-split flag list
+  [[ -n "$extra" ]] && args+=($extra)
   run "$name" "$WORK/$name.txt" "${args[@]}" || continue
   ref="$WORK/ref-t2t.txt"
   [[ "$strategy" == master ]] && ref="$WORK/ref-master.txt"

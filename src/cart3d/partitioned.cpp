@@ -72,7 +72,8 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
                                     const Prim& freestream,
                                     std::span<const index_t> part,
                                     index_t nparts, euler::FluxScheme flux,
-                                    const core::ExchangePlanOptions& comm) {
+                                    const core::ExchangePlanOptions& comm,
+                                    bool overlap) {
   const std::size_t n = m.cells.size();
   const std::size_t np = std::size_t(nparts);
   COLUMBIA_REQUIRE(part.size() == n && u.size() == n);
@@ -83,6 +84,24 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
   std::vector<index_t> owned_count(np, 0);
   for (std::size_t i = 0; i < n; ++i)
     slot[i] = owned_count[std::size_t(part[i])]++;
+
+  // Interior/cross face split per rank (built once with the plans): an
+  // owned face is interior iff its right cell is owned too, so interior
+  // faces plus the cell-local closures run without ghost data. Both lists
+  // keep ascending face order; interior always runs first, making the
+  // accumulation order a property of the decomposition alone.
+  std::vector<std::vector<index_t>> interior_faces(np), cross_faces(np);
+  std::vector<std::vector<index_t>> owned_cells(np);
+  for (std::size_t fi = 0; fi < m.faces.size(); ++fi) {
+    const CartFace& f = m.faces[fi];
+    const index_t pl = part[std::size_t(f.left)];
+    const bool cross =
+        f.right != kInvalidIndex && part[std::size_t(f.right)] != pl;
+    (cross ? cross_faces : interior_faces)[std::size_t(pl)].push_back(
+        index_t(fi));
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    owned_cells[std::size_t(part[i])].push_back(index_t(i));
 
   // Packed arrays are component-major (plane c starts at c * owned_count)
   // and requests are emitted c-major, so consecutive requests against one
@@ -141,7 +160,9 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
     }
   core::ExchangePlan plan2(std::move(reqs2), comm);
 
-  // Phase 1: pack owned states, fetch ghosts.
+  // Phase 1: pack owned states and post the ghost fetch; blocking mode
+  // completes it here, overlap mode after the interior phase. Compute
+  // order is identical either way.
   core::PartitionData state_data(np);
   for (index_t p = 0; p < nparts; ++p)
     state_data[std::size_t(p)].resize(
@@ -151,9 +172,12 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
       state_data[std::size_t(part[i])]
                 [c * std::size_t(owned_count[std::size_t(part[i])]) +
                  std::size_t(slot[i])] = u[i][c];
-  const core::PartitionData& ghost_vals = plan1.exchange(state_data);
+  plan1.post(state_data);
+  const core::PartitionData* ghost_vals = overlap ? nullptr : &plan1.finish();
 
-  // Phase 2: face-flux accumulation, one rank per partition on the pool.
+  // Phase 2a (interior): fully-owned face fluxes plus the cell-local
+  // closures, one rank per partition on the pool; no ghost data touched,
+  // so this is the compute that hides the exchange in overlap mode.
   std::vector<std::vector<Cons>> res_of(np);
   smp::ThreadPool::global().parallel_for(
       0, np, 1, [&](std::size_t pb, std::size_t pe, int) {
@@ -162,10 +186,58 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
         OBS_SPAN("cart3d.partitioned.compute", "level",
                  std::int64_t(comm.level));
         for (std::size_t mep = pb; mep < pe; ++mep) {
+          std::vector<Cons> res(n, Cons{});
+          for (const index_t fi : interior_faces[mep]) {
+            const CartFace& f = m.faces[std::size_t(fi)];
+            const Vec3 nrm = axis_normal(f.axis);
+            const Prim wl = euler::to_primitive(u[std::size_t(f.left)]);
+            const Prim wr = euler::to_primitive(u[std::size_t(f.right)]);
+            const Cons fl = euler::numerical_flux(wl, wr, nrm, flux);
+            for (int c = 0; c < 5; ++c) {
+              res[std::size_t(f.left)][std::size_t(c)] +=
+                  f.area * fl[std::size_t(c)];
+              res[std::size_t(f.right)][std::size_t(c)] -=
+                  f.area * fl[std::size_t(c)];
+            }
+          }
+          // Domain (farfield) boundary faces are cell-local.
+          for (const CartFace& f : m.boundary_faces) {
+            if (part[std::size_t(f.left)] != index_t(mep)) continue;
+            const Vec3 nrm = boundary_normal(f);
+            const Cons fl = euler::farfield_flux(
+                euler::to_primitive(u[std::size_t(f.left)]), freestream, nrm,
+                flux);
+            for (int c = 0; c < 5; ++c)
+              res[std::size_t(f.left)][std::size_t(c)] +=
+                  f.area * fl[std::size_t(c)];
+          }
+          // Embedded (cut-cell) walls are cell-local.
+          for (const index_t i : owned_cells[mep]) {
+            if (!m.cells[std::size_t(i)].cut) continue;
+            const Cons fl = euler::wall_flux(
+                euler::to_primitive(u[std::size_t(i)]),
+                m.cells[std::size_t(i)].wall_area);
+            for (int c = 0; c < 5; ++c)
+              res[std::size_t(i)][std::size_t(c)] += fl[std::size_t(c)];
+          }
+          res_of[mep] = std::move(res);
+        }
+      });
+
+  // Overlap mode: interior work done — wait out the exchange now.
+  if (overlap) ghost_vals = &plan1.finish();
+
+  // Phase 2b (cross faces): scatter each rank's ghost block and
+  // accumulate the halo-adjacent faces, same ascending face order as 2a.
+  smp::ThreadPool::global().parallel_for(
+      0, np, 1, [&](std::size_t pb, std::size_t pe, int) {
+        OBS_SPAN("cart3d.partitioned.compute", "level",
+                 std::int64_t(comm.level));
+        for (std::size_t mep = pb; mep < pe; ++mep) {
           const index_t me = index_t(mep);
           std::vector<Cons> ghost(n, Cons{});  // sparse by construction
           const auto& g = ghosts[mep];
-          const auto& got = ghost_vals[mep];
+          const auto& got = (*ghost_vals)[mep];
           for (std::size_t c = 0; c < 5; ++c)
             for (std::size_t k = 0; k < g.size(); ++k)
               ghost[std::size_t(g[k].item)][c] = got[c * g.size() + k];
@@ -175,10 +247,9 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
                                               : ghost[std::size_t(i)];
           };
 
-          std::vector<Cons> res(n, Cons{});
-          // Interior faces owned via the left cell.
-          for (const CartFace& f : m.faces) {
-            if (part[std::size_t(f.left)] != me) continue;
+          auto& res = res_of[mep];
+          for (const index_t fi : cross_faces[mep]) {
+            const CartFace& f = m.faces[std::size_t(fi)];
             const Vec3 nrm = axis_normal(f.axis);
             const Prim wl = euler::to_primitive(state_of(f.left));
             const Prim wr = euler::to_primitive(state_of(f.right));
@@ -190,30 +261,11 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
                   f.area * fl[std::size_t(c)];
             }
           }
-          // Domain (farfield) boundary faces are cell-local.
-          for (const CartFace& f : m.boundary_faces) {
-            if (part[std::size_t(f.left)] != me) continue;
-            const Vec3 nrm = boundary_normal(f);
-            const Cons fl = euler::farfield_flux(
-                euler::to_primitive(u[std::size_t(f.left)]), freestream, nrm,
-                flux);
-            for (int c = 0; c < 5; ++c)
-              res[std::size_t(f.left)][std::size_t(c)] +=
-                  f.area * fl[std::size_t(c)];
-          }
-          // Embedded (cut-cell) walls are cell-local.
-          for (std::size_t i = 0; i < n; ++i) {
-            if (part[i] != me || !m.cells[i].cut) continue;
-            const Cons fl =
-                euler::wall_flux(euler::to_primitive(u[i]), m.cells[i].wall_area);
-            for (int c = 0; c < 5; ++c)
-              res[i][std::size_t(c)] += fl[std::size_t(c)];
-          }
-          res_of[mep] = std::move(res);
         }
       });
 
-  // Phase 3: return cross-partition face contributions and assemble.
+  // Phase 3: return cross-partition face contributions; the owned-row
+  // copy hides the return trip in overlap mode.
   core::PartitionData contrib_data(np);
   for (index_t p = 0; p < nparts; ++p) {
     auto& buf = contrib_data[std::size_t(p)];
@@ -224,13 +276,16 @@ std::vector<Cons> parallel_residual(const CartMesh& m,
         for (index_t i : cells)
           buf[w++] = res_of[std::size_t(p)][std::size_t(i)][c];
   }
-  const core::PartitionData& returned = plan2.exchange(contrib_data);
+  plan2.post(contrib_data);
+  const core::PartitionData* returned = overlap ? nullptr : &plan2.finish();
 
   std::vector<Cons> result(n, Cons{});
   for (std::size_t i = 0; i < n; ++i)
     result[i] = res_of[std::size_t(part[i])][i];
+  if (overlap) returned = &plan2.finish();
+
   for (index_t p = 0; p < nparts; ++p) {
-    const auto& got = returned[std::size_t(p)];
+    const auto& got = (*returned)[std::size_t(p)];
     std::size_t k = 0;
     for (index_t q = 0; q < nparts; ++q) {
       const auto it = contrib[std::size_t(q)].find(p);

@@ -34,10 +34,18 @@ core::RequestLists halo_requests(const cartesian::CartMesh& m,
 /// face contributions through a second plan. The result matches the
 /// single-partition evaluation bit-for-bit up to summation order, with
 /// either exchange strategy and with halo fault injection on or off.
+///
+/// The per-rank face loop is split at plan-build time into interior faces
+/// (both cells owned) and cross-partition faces, always run
+/// interior-first; cell-local closures count as interior work. With
+/// `overlap` set, the ghost exchange flies under the interior phase
+/// (post → interior → finish → cross faces) and the contribution return
+/// under the owned-row assembly; overlap on/off execute the identical
+/// floating-point sequence, so results are bit-identical by construction.
 std::vector<euler::Cons> parallel_residual(
     const cartesian::CartMesh& m, const std::vector<euler::Cons>& u,
     const euler::Prim& freestream, std::span<const index_t> part,
     index_t nparts, euler::FluxScheme flux = euler::FluxScheme::Roe,
-    const core::ExchangePlanOptions& comm = {});
+    const core::ExchangePlanOptions& comm = {}, bool overlap = false);
 
 }  // namespace columbia::cart3d

@@ -89,10 +89,26 @@ class Cart3DSolver {
   void restore_checkpoint(const resil::Checkpoint& c);
 
   const std::vector<euler::Cons>& solution() const { return state_[0]; }
+  /// Current state of any level (coarse levels hold the latest FAS
+  /// restriction) — read-only, for per-level halo exchanges driven off
+  /// the level hooks.
+  const std::vector<euler::Cons>& solution(int level) const {
+    return state_[std::size_t(level)];
+  }
   const cartesian::CartMesh& mesh(int level = 0) const {
     return hierarchy_.levels[std::size_t(level)];
   }
   int num_levels() const { return int(hierarchy_.levels.size()); }
+
+  /// Read-only level-visit hooks (core::MultigridDriver::set_level_hooks):
+  /// `begin` fires on entry to a level visit, `end` right after its
+  /// pre-smoother — the post()/finish() anchor points for split halo
+  /// exchanges. Hooks must not mutate solver state; histories stay
+  /// bit-identical with hooks installed or absent.
+  void set_level_hooks(std::function<void(int)> begin,
+                       std::function<void(int)> end) {
+    driver_.set_level_hooks(std::move(begin), std::move(end));
+  }
 
   Forces integrate_forces() const;
 

@@ -73,6 +73,20 @@ struct ExchangePlanOptions {
   /// plan maps channel rank r to group member r % group_size.
   Transport* transport = nullptr;
   WireOptions wire;
+  /// Coarse-level rank agglomeration (paper Fig. 19): when > 0, channel
+  /// ranks map onto the first `active_members` group members only
+  /// (r % active_members instead of r % group_size). Members outside the
+  /// active set never touch the wire for this plan — they park, filling
+  /// their replicated out_ by local validation — so a level whose
+  /// partitions are tiny stops paying per-message wire latency on every
+  /// rank. 0 = all members active. Clamped to group_size.
+  int active_members = 0;
+  /// For inter-level transfer plans bridging two different active sets
+  /// (restriction/prolongation between a full-rank fine level and an
+  /// agglomerated coarse level): sender-side ranks map through this count
+  /// while receiver-side ranks map through active_members. 0 = same as
+  /// active_members.
+  int sender_active_members = 0;
 };
 
 /// Stable strategy id used as the "strat" span attribute (0 = t2t,
@@ -99,8 +113,26 @@ class ExchangePlan {
 
   /// Fetches every requested value; the result is parallel to each
   /// partition's request list and owned by the plan (valid until the next
-  /// exchange). Performs no heap allocation.
+  /// exchange). Performs no heap allocation. Exactly post() + finish(),
+  /// so blocking call sites and the split overlap path share one code
+  /// path and stay bit-identical by construction.
   const PartitionData& exchange(const PartitionData& data);
+
+  /// Split exchange, begin half: snapshots `data` into the per-channel
+  /// payloads (pack gathers + intra-rank copies) and launches the first
+  /// wire attempt of every channel this member sends — then returns, so
+  /// the caller can compute interior work while the frames are in flight.
+  /// `data` may be mutated freely after post() returns.
+  void post(const PartitionData& data);
+
+  /// Split exchange, end half: runs the retransmit/ack protocol to
+  /// completion for every channel (receives, validates, re-sends as
+  /// needed) and scatters the delivered values. Returns the same
+  /// reference exchange() does. Requires a matching post().
+  const PartitionData& finish();
+
+  /// True between post() and finish().
+  bool posted() const { return posted_; }
 
   /// Group-exit grace period (no-op without a transport or alone in the
   /// group): keeps answering peers' duplicate Data frames with Acks until
@@ -166,19 +198,68 @@ class ExchangePlan {
   // replicated data; per channel exactly one member sends on the wire and
   // one receives (wire_loopback when they coincide and loopback_self is
   // set), everyone else validates the frame locally so out_ is complete
-  // and bit-identical on every member.
-  int member_of(index_t rank) const;
-  void wire_send(std::uint32_t ci, Channel& ch, std::uint64_t seq);
+  // and bit-identical on every member. Agglomerated plans shrink the
+  // member images: sender ranks map through sender_active(), receiver
+  // ranks through recv_active().
+  int recv_active() const;
+  int sender_active() const;
+  int member_of(index_t rank, bool sender_side) const;
+  /// One Data attempt of a channel: frame, draw the deterministic fault
+  /// sites, encode, put on the wire, account. Shared by wire_send,
+  /// wire_loopback and the early attempt-0 launch in post().
+  void send_attempt(std::uint32_t ci, Channel& ch, std::uint64_t seq,
+                    int attempt, int peer);
+  /// `first_sent`: attempt 0 already left in post(); start the protocol at
+  /// the ack wait instead of re-sending it.
+  void wire_send(std::uint32_t ci, Channel& ch, std::uint64_t seq,
+                 bool first_sent);
   void wire_recv(std::uint32_t ci, Channel& ch, std::uint64_t seq);
-  void wire_loopback(std::uint32_t ci, Channel& ch, std::uint64_t seq);
+  void wire_loopback(std::uint32_t ci, Channel& ch, std::uint64_t seq,
+                     bool first_sent);
   void local_validate(Channel& ch);
   /// COLUMBIA_FAULTS peer_hang check (site = this member's group rank).
   void maybe_hang();
   void note_retransmit(const Channel& ch);
   enum class Await { Acked, Nacked, Timeout, Reset, PeerGone };
+  /// `heard_peer` is set when any decodable frame from the peer arrived in
+  /// the window — proof of liveness. A timed-out window that heard the
+  /// peer does NOT consume the sender's retransmit budget: the peer is
+  /// alive but behind in the schedule (e.g. serially recovering a burst of
+  /// reset-flushed acks), and charging attempts against its catch-up time
+  /// turns bounded skew into a spurious PeerLost.
   Await await_ack(int peer, std::uint64_t seq, std::uint32_t ci,
-                  int deadline_ms);
+                  int deadline_ms, bool& heard_peer);
   void send_control(int peer, WireType type, const WireHeader& data_header);
+
+  // --- Reorder stash (storage lives on the Transport endpoint) ---
+  //
+  // post() launches every outbound attempt-0 frame before anyone starts
+  // receiving, so a member routinely pulls Data for a channel it has not
+  // reached yet while waiting on an earlier one. Dropping such frames (the
+  // pre-split behavior) would force a full deadline timeout + retransmit
+  // per reordering; instead they are stashed — un-acked, so the protocol
+  // state machine is unchanged — and the owning wire_recv/wire_loopback
+  // consumes them before touching the wire. The stash (and the exchange
+  // sequence counter that keys it) belongs to the Transport, not the plan:
+  // several plans multiplex one endpoint (per-level halo plans plus
+  // inter-level transfer plans), and a frame for plan A often lands while
+  // plan B holds the wire — it must be parked where A will find it.
+  // Entries are recycled (bounded by the live channel count across plans)
+  // and later attempts of the same channel overwrite earlier ones, since
+  // only the final attempt is guaranteed clean.
+  void stash_put(int peer, const WireHeader& h);
+  bool stash_take(int peer, std::uint64_t seq, std::uint32_t ci,
+                  WireHeader& h);
+  // Ack-ledger companions (storage on the Transport, see ack_ledger()):
+  // acks addressed to channels this member has posted but whose wire_send
+  // has not started yet are recorded, not dropped.
+  void ack_put(int peer, const WireHeader& h);
+  bool ack_take(int peer, std::uint64_t seq, std::uint32_t ci);
+  /// Drops stash/ledger leftovers of a completed round (<= seq): every
+  /// channel of that round is delivered on this member, so anything still
+  /// parked for it is a duplicate. Keeps both pools bounded by the live
+  /// in-flight rounds.
+  void purge_round(std::uint64_t seq);
 
   RequestLists requests_;
   ExchangePlanOptions opt_;
@@ -196,10 +277,16 @@ class ExchangePlan {
   std::vector<std::uint8_t> wire_in_;
   std::vector<std::uint8_t> wire_ctl_;
   std::vector<real_t> wire_frame_;
-  /// Wire-path exchange sequence. Plan-local (not the injector's global
-  /// counter) so every group member stamps round k with the same value
-  /// even when members share a process (the threads backend).
-  std::uint64_t wire_seq_ = 0;
+  // Wire-path exchange sequencing is endpoint-wide: post() draws from
+  // Transport::take_exchange_seq() (not the injector's global counter) so
+  // every group member stamps round k of the same plan with the same
+  // value even when members share a process (the threads backend), and
+  // rounds of different plans on one endpoint never collide.
+  // Split-exchange state carried from post() to finish().
+  bool posted_ = false;
+  std::uint64_t posted_seq_ = 0;
+  std::uint64_t posted_messages_ = 0;
+  std::uint64_t posted_bytes_ = 0;
 };
 
 }  // namespace columbia::core

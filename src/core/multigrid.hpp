@@ -29,8 +29,10 @@
 // driver, not a virtual one") for why.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <span>
 #include <string>
@@ -44,6 +46,50 @@
 #include "support/types.hpp"
 
 namespace columbia::core {
+
+/// Per-level active-rank schedule for coarse-level agglomeration (paper
+/// Fig. 19: coarse multigrid levels leave every rank with a partition too
+/// small to amortize per-message latency). Level l runs its halo
+/// exchanges on the first `active[l]` members of the transport group —
+/// fed to ExchangePlanOptions::active_members — while the remaining
+/// members park. The count is monotone non-increasing toward coarser
+/// levels, so a member parked on level l stays parked on every level
+/// below it.
+struct AgglomerationSchedule {
+  int group_size = 1;
+  index_t min_items_per_member = 0;
+  std::vector<int> active;  // per level, in [1, group_size]
+
+  /// `level_items[l]` = nodes/cells of level l; a level keeps only enough
+  /// members to give each at least `min_items_per_member` items
+  /// (0 disables agglomeration — every level keeps the full group).
+  static AgglomerationSchedule build(std::span<const index_t> level_items,
+                                     int group_size,
+                                     index_t min_items_per_member) {
+    AgglomerationSchedule s;
+    s.group_size = std::max(group_size, 1);
+    s.min_items_per_member = min_items_per_member;
+    int prev = s.group_size;
+    for (const index_t items : level_items) {
+      int a = s.group_size;
+      if (min_items_per_member > 0) {
+        const index_t want =
+            (items + min_items_per_member - 1) / min_items_per_member;
+        a = int(std::clamp(want, index_t(1), index_t(s.group_size)));
+      }
+      a = std::min(a, prev);
+      s.active.push_back(a);
+      prev = a;
+    }
+    return s;
+  }
+
+  bool engaged() const {
+    for (const int a : active)
+      if (a < group_size) return true;
+    return false;
+  }
+};
 
 template <class Physics>
 class MultigridDriver {
@@ -60,6 +106,19 @@ class MultigridDriver {
         cycles_ctr_(&obs::counter(name_ + ".cycles")) {}
 
   const std::string& name() const { return name_; }
+
+  /// Read-only level-visit hooks for communication/compute overlap:
+  /// `begin` fires on entry to every level visit (the place to post() a
+  /// split halo exchange) and `end` right after the pre-smoother (the
+  /// place to finish() it) — so the exchange flies exactly under the
+  /// smoother, the dominant per-visit compute. Hooks must not mutate
+  /// solver state: residual histories stay bit-identical with hooks
+  /// installed or absent. Pass empty functions to uninstall.
+  void set_level_hooks(std::function<void(int)> begin,
+                       std::function<void(int)> end) {
+    level_begin_ = std::move(begin);
+    level_end_ = std::move(end);
+  }
 
   /// One multigrid cycle from the finest level; returns the fine-grid
   /// residual norm. Includes the COLUMBIA_FAULTS state_nan hook: the site
@@ -151,7 +210,9 @@ class MultigridDriver {
     WallTimer t;
     const int nl = phys.num_levels();
     const SolveParams& p = phys.solve_params();
+    if (level_begin_) level_begin_(level);
     phys.smooth(level, p.smooth_steps);
+    if (level_end_) level_end_(level);
     if (level + 1 >= nl) {
       if (timed) level_seconds_[std::size_t(level)] += t.seconds();
       return;
@@ -178,6 +239,10 @@ class MultigridDriver {
   /// Monotone cycle-attempt counter: the site id for mid-cycle fault
   /// injection (resil::FaultKind::StateNaN).
   std::uint64_t cycle_seq_ = 0;
+
+  /// Level-visit hooks (see set_level_hooks); empty = no-op.
+  std::function<void(int)> level_begin_;
+  std::function<void(int)> level_end_;
 };
 
 }  // namespace columbia::core

@@ -84,6 +84,33 @@ class TransportError : public std::runtime_error {
   int peer_;
 };
 
+// --- Wire datagram codec ----------------------------------------------------
+//
+// Every datagram is a fixed header plus (for Data) the checksummed real_t
+// frame produced by resil::frame_payload_into, verbatim. The header lets
+// receivers match retransmitted attempts, discard stale duplicates, and
+// re-acknowledge Data whose Ack was lost, all per (exchange seq, channel).
+
+enum class WireType : std::uint16_t { Data = 1, Ack = 2, Nak = 3 };
+
+struct WireHeader {
+  std::uint64_t seq = 0;       // endpoint exchange sequence number
+  std::uint32_t channel = 0;   // plan channel index (global order)
+  std::uint16_t type = 0;      // WireType
+  std::uint16_t attempt = 0;   // sender attempt counter
+};
+inline constexpr std::size_t kWireHeaderBytes = 16;
+
+/// Serializes header + frame into `out` (resized; capacity reused).
+void encode_wire(const WireHeader& h, std::span<const real_t> frame,
+                 std::vector<std::uint8_t>& out);
+
+/// False when the datagram is shorter than a header or its frame bytes do
+/// not form whole real_t words (a mangled length never crashes decode —
+/// the frame checksum decides whether the payload survives).
+bool decode_wire(std::span<const std::uint8_t> datagram, WireHeader& h,
+                 std::vector<real_t>& frame);
+
 /// One member's endpoint onto the group wire. Datagram semantics: send()
 /// enqueues a whole message without waiting for the receiver; recv()
 /// dequeues the next message from one peer, waiting at most deadline_ms.
@@ -138,6 +165,49 @@ class Transport {
   /// Invoked once when enter_hang begins (stops the heartbeat pulse).
   void set_hang_hook(std::function<void()> hook) { hang_hook_ = std::move(hook); }
 
+  /// Endpoint-wide exchange sequence. Every ExchangePlan on this endpoint
+  /// draws from the same counter (one draw per post), so (seq, channel)
+  /// names one exchange instance of one plan: frames from different plans
+  /// sharing the endpoint — per-level halo plans plus inter-level transfer
+  /// plans — can never alias, and "stale duplicate" vs "future frame"
+  /// comparisons stay meaningful across plans. The SPMD schedule (every
+  /// member posts the same plans in the same order) keeps the counter
+  /// identical on all members without any coordination.
+  std::uint64_t take_exchange_seq() { return exchange_seq_++; }
+  std::uint64_t next_exchange_seq() const { return exchange_seq_; }
+
+  /// One Data frame that arrived while the receiver was completing a
+  /// different (seq, channel) — parked here, deliberately un-acked, until
+  /// the exchange that owns it consumes it (and only then acks). Lives on
+  /// the endpoint rather than a plan for the same reason as the sequence
+  /// counter: with several plans multiplexed over one endpoint, a frame
+  /// routinely arrives while another plan is mid-protocol, and the owning
+  /// plan must still find it. Entries recycle their capacity (no
+  /// steady-state allocation once every message size has been seen).
+  struct StashedFrame {
+    bool full = false;
+    int peer = -1;
+    WireHeader header{};
+    std::vector<real_t> frame;
+  };
+  std::vector<StashedFrame>& frame_stash() { return frame_stash_; }
+
+  /// Ack addressed to a send this endpoint has in flight but is not
+  /// currently waiting on. post() launches every first attempt up front,
+  /// so a peer can ack channels far ahead of the sender's own protocol
+  /// position; dropping those acks (they look like stale control) would
+  /// cost a full deadline timeout + retransmit per channel — and a member
+  /// recovering many channels serially that way can starve a peer's
+  /// retransmit budget. Recorded here instead; wire_send consults the
+  /// ledger before waiting. Same endpoint-wide scope as the frame stash.
+  struct AckRecord {
+    bool full = false;
+    int peer = -1;
+    std::uint64_t seq = 0;
+    std::uint32_t channel = 0;
+  };
+  std::vector<AckRecord>& ack_ledger() { return ack_ledger_; }
+
  protected:
   void notify_hang() {
     if (hang_hook_) hang_hook_();
@@ -147,34 +217,10 @@ class Transport {
   TransportCounters counters_;
   CounterSink sink_;
   std::function<void()> hang_hook_;
+  std::uint64_t exchange_seq_ = 0;
+  std::vector<StashedFrame> frame_stash_;
+  std::vector<AckRecord> ack_ledger_;
 };
-
-// --- Wire datagram codec ----------------------------------------------------
-//
-// Every datagram is a fixed header plus (for Data) the checksummed real_t
-// frame produced by resil::frame_payload_into, verbatim. The header lets
-// receivers match retransmitted attempts, discard stale duplicates, and
-// re-acknowledge Data whose Ack was lost, all per (exchange seq, channel).
-
-enum class WireType : std::uint16_t { Data = 1, Ack = 2, Nak = 3 };
-
-struct WireHeader {
-  std::uint64_t seq = 0;       // plan exchange sequence number
-  std::uint32_t channel = 0;   // plan channel index (global order)
-  std::uint16_t type = 0;      // WireType
-  std::uint16_t attempt = 0;   // sender attempt counter
-};
-inline constexpr std::size_t kWireHeaderBytes = 16;
-
-/// Serializes header + frame into `out` (resized; capacity reused).
-void encode_wire(const WireHeader& h, std::span<const real_t> frame,
-                 std::vector<std::uint8_t>& out);
-
-/// False when the datagram is shorter than a header or its frame bytes do
-/// not form whole real_t words (a mangled length never crashes decode —
-/// the frame checksum decides whether the payload survives).
-bool decode_wire(std::span<const std::uint8_t> datagram, WireHeader& h,
-                 std::vector<real_t>& frame);
 
 // --- In-process reference backend -------------------------------------------
 

@@ -148,7 +148,8 @@ std::vector<State> parallel_residual(const Level& lvl,
                                      const euler::Prim& freestream,
                                      std::span<const index_t> part,
                                      index_t nparts,
-                                     const core::ExchangePlanOptions& comm) {
+                                     const core::ExchangePlanOptions& comm,
+                                     bool overlap) {
   const std::size_t n = std::size_t(lvl.num_nodes);
   const std::size_t np = std::size_t(nparts);
   COLUMBIA_REQUIRE(part.size() == n);
@@ -160,6 +161,23 @@ std::vector<State> parallel_residual(const Level& lvl,
   for (std::size_t v = 0; v < n; ++v) {
     slot[v] = owned_count[std::size_t(part[v])]++;
   }
+
+  // Interior/boundary edge split per rank (Jackson & Campobasso overlap
+  // scheme): an owned edge is interior iff its far endpoint is also owned,
+  // so the interior list plus every node closure runs without ghost data.
+  // Both lists keep ascending edge order; interior always runs first, so
+  // the accumulation order is a fixed property of the decomposition, not
+  // of whether the exchange was blocking or in flight.
+  std::vector<std::vector<index_t>> interior_edges(np), boundary_edges(np);
+  std::vector<std::vector<index_t>> owned_nodes(np);
+  for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
+    const auto [a, b] = lvl.edges[e];
+    const index_t pa = part[std::size_t(a)];
+    auto& side = part[std::size_t(b)] == pa ? interior_edges : boundary_edges;
+    side[std::size_t(pa)].push_back(index_t(e));
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    owned_nodes[std::size_t(part[v])].push_back(index_t(v));
 
   // Ghost-state schedule: six components per ghost node, addressed into
   // the owner's packed array. The packed arrays are component-major
@@ -225,8 +243,34 @@ std::vector<State> parallel_residual(const Level& lvl,
     }
   core::ExchangePlan plan2(std::move(reqs2), comm);
 
-  // Phase 1: pack owned states and fetch every ghost state (one packed
-  // message per neighbor pair).
+  // Per-edge flux accumulation shared by the interior and boundary phases;
+  // `state_of` resolves the far endpoint (owned array or ghost scatter).
+  auto flux_edge = [&](std::size_t e, auto&& state_of, auto&& prim_of,
+                       std::vector<State>& res) {
+    const auto [a, b] = lvl.edges[e];
+    const real_t area = norm(lvl.edge_normal[e]);
+    if (area <= 0) return;
+    const Vec3 nh = lvl.edge_normal[e] / area;
+    const euler::Prim wl = prim_of(a);
+    const euler::Prim wr = prim_of(b);
+    const euler::Cons flux =
+        euler::numerical_flux(wl, wr, nh, euler::FluxScheme::Roe);
+    const real_t mdot = flux[0] * area;
+    const real_t nut_l = state_of(a)[5] / wl.rho;
+    const real_t nut_r = state_of(b)[5] / wr.rho;
+    const real_t fnut = mdot * (mdot >= 0 ? nut_l : nut_r);
+    for (int c = 0; c < 5; ++c) {
+      res[std::size_t(a)][std::size_t(c)] += area * flux[std::size_t(c)];
+      res[std::size_t(b)][std::size_t(c)] -= area * flux[std::size_t(c)];
+    }
+    res[std::size_t(a)][5] += fnut;
+    res[std::size_t(b)][5] -= fnut;
+  };
+
+  // Phase 1: pack owned states and post the ghost fetch (one packed
+  // message per neighbor pair). In blocking mode the exchange completes
+  // here; in overlap mode it completes after the interior phase. The
+  // compute sequence is identical either way.
   core::PartitionData state_data(np);
   for (index_t p = 0; p < nparts; ++p)
     state_data[std::size_t(p)].resize(std::size_t(owned_count[std::size_t(p)]) * 6);
@@ -235,11 +279,14 @@ std::vector<State> parallel_residual(const Level& lvl,
       state_data[std::size_t(part[v])]
                 [c * std::size_t(owned_count[std::size_t(part[v])]) +
                  std::size_t(slot[v])] = u[v][c];
-  const core::PartitionData& ghost_vals = plan1.exchange(state_data);
+  plan1.post(state_data);
+  const core::PartitionData* ghost_vals = overlap ? nullptr : &plan1.finish();
 
-  // Phase 2: flux accumulation over owned edges (first-order), one rank
-  // per partition on the thread pool; each rank reads only its own ghost
-  // block and writes only its own residual array.
+  // Phase 2a (interior): flux accumulation over owned interior edges and
+  // the node-local boundary closures, one rank per partition on the thread
+  // pool. Touches no ghost data, so it runs while the exchange is in
+  // flight. Interior edges owned by other ranks but touching my nodes are
+  // accumulated remotely and returned through plan2 below.
   std::vector<std::vector<State>> res_of(np);
   smp::ThreadPool::global().parallel_for(
       0, np, 1, [&](std::size_t pb, std::size_t pe, int) {
@@ -249,10 +296,64 @@ std::vector<State> parallel_residual(const Level& lvl,
         OBS_SPAN("nsu3d.partitioned.compute", "level",
                  std::int64_t(comm.level));
         for (std::size_t mep = pb; mep < pe; ++mep) {
+          auto owned_state = [&](index_t v) -> const State& {
+            return u[std::size_t(v)];
+          };
+          auto owned_prim = [&](index_t v) {
+            const State& s = u[std::size_t(v)];
+            const real_t inv = 1.0 / s[0];
+            const Vec3 vel{s[1] * inv, s[2] * inv, s[3] * inv};
+            const real_t p =
+                (euler::kGamma - 1) * (s[4] - 0.5 * s[0] * dot(vel, vel));
+            return euler::Prim{s[0], vel, p};
+          };
+
+          std::vector<State> res(n, State{});
+          for (const index_t e : interior_edges[mep])
+            flux_edge(std::size_t(e), owned_state, owned_prim, res);
+          for (const index_t v : owned_nodes[mep]) {
+            const euler::Prim w = owned_prim(v);
+            const Vec3& fn = lvl.boundary_normal[std::size_t(v)]
+                                                [std::size_t(mesh::BoundaryTag::Farfield)];
+            const real_t fa = norm(fn);
+            if (fa > 0) {
+              const euler::Cons flux = euler::farfield_flux(
+                  w, freestream, fn / fa, euler::FluxScheme::Roe);
+              for (int c = 0; c < 5; ++c)
+                res[std::size_t(v)][std::size_t(c)] += fa * flux[std::size_t(c)];
+              const real_t mdot = flux[0] * fa;
+              res[std::size_t(v)][5] +=
+                  mdot * (mdot >= 0 ? u[std::size_t(v)][5] / w.rho : 0.0);
+            }
+            for (mesh::BoundaryTag tag :
+                 {mesh::BoundaryTag::Wall, mesh::BoundaryTag::Symmetry}) {
+              const Vec3& bn =
+                  lvl.boundary_normal[std::size_t(v)][std::size_t(tag)];
+              if (dot(bn, bn) > 0) {
+                const euler::Cons flux = euler::wall_flux(w, bn);
+                for (int c = 0; c < 5; ++c)
+                  res[std::size_t(v)][std::size_t(c)] += flux[std::size_t(c)];
+              }
+            }
+          }
+          res_of[mep] = std::move(res);
+        }
+      });
+
+  // Overlap mode: the interior work is done — now wait out the exchange.
+  if (overlap) ghost_vals = &plan1.finish();
+
+  // Phase 2b (boundary): scatter each rank's ghost block and accumulate
+  // the halo-adjacent edges, in the same ascending edge order as 2a.
+  smp::ThreadPool::global().parallel_for(
+      0, np, 1, [&](std::size_t pb, std::size_t pe, int) {
+        OBS_SPAN("nsu3d.partitioned.compute", "level",
+                 std::int64_t(comm.level));
+        for (std::size_t mep = pb; mep < pe; ++mep) {
           const index_t me = index_t(mep);
           std::vector<State> ghost(n, State{});  // sparse by construction
           const auto& g = ghosts[mep];
-          const auto& got = ghost_vals[mep];
+          const auto& got = (*ghost_vals)[mep];
           for (std::size_t c = 0; c < 6; ++c)
             for (std::size_t k = 0; k < g.size(); ++k)
               ghost[std::size_t(g[k].item)][c] = got[c * g.size() + k];
@@ -270,64 +371,16 @@ std::vector<State> parallel_residual(const Level& lvl,
             return euler::Prim{s[0], vel, p};
           };
 
-          std::vector<State> res(n, State{});
-          for (std::size_t e = 0; e < lvl.edges.size(); ++e) {
-            const auto [a, b] = lvl.edges[e];
-            if (part[std::size_t(a)] != me) continue;  // edge owner rule
-            const real_t area = norm(lvl.edge_normal[e]);
-            if (area <= 0) continue;
-            const Vec3 nh = lvl.edge_normal[e] / area;
-            const euler::Prim wl = prim_of(a);
-            const euler::Prim wr = prim_of(b);
-            const euler::Cons flux =
-                euler::numerical_flux(wl, wr, nh, euler::FluxScheme::Roe);
-            const real_t mdot = flux[0] * area;
-            const real_t nut_l = state_of(a)[5] / wl.rho;
-            const real_t nut_r = state_of(b)[5] / wr.rho;
-            const real_t fnut = mdot * (mdot >= 0 ? nut_l : nut_r);
-            for (int c = 0; c < 5; ++c) {
-              res[std::size_t(a)][std::size_t(c)] += area * flux[std::size_t(c)];
-              res[std::size_t(b)][std::size_t(c)] -= area * flux[std::size_t(c)];
-            }
-            res[std::size_t(a)][5] += fnut;
-            res[std::size_t(b)][5] -= fnut;
-          }
-          // Interior edges owned by other ranks but touching my nodes are
-          // accumulated remotely and returned below. Boundary closures
-          // are node-local:
-          for (index_t v = 0; v < index_t(n); ++v) {
-            if (part[std::size_t(v)] != me) continue;
-            const euler::Prim w = prim_of(v);
-            const Vec3& fn = lvl.boundary_normal[std::size_t(v)]
-                                                [std::size_t(mesh::BoundaryTag::Farfield)];
-            const real_t fa = norm(fn);
-            if (fa > 0) {
-              const euler::Cons flux = euler::farfield_flux(
-                  w, freestream, fn / fa, euler::FluxScheme::Roe);
-              for (int c = 0; c < 5; ++c)
-                res[std::size_t(v)][std::size_t(c)] += fa * flux[std::size_t(c)];
-              const real_t mdot = flux[0] * fa;
-              res[std::size_t(v)][5] +=
-                  mdot * (mdot >= 0 ? state_of(v)[5] / w.rho : 0.0);
-            }
-            for (mesh::BoundaryTag tag :
-                 {mesh::BoundaryTag::Wall, mesh::BoundaryTag::Symmetry}) {
-              const Vec3& bn =
-                  lvl.boundary_normal[std::size_t(v)][std::size_t(tag)];
-              if (dot(bn, bn) > 0) {
-                const euler::Cons flux = euler::wall_flux(w, bn);
-                for (int c = 0; c < 5; ++c)
-                  res[std::size_t(v)][std::size_t(c)] += flux[std::size_t(c)];
-              }
-            }
-          }
-          res_of[mep] = std::move(res);
+          auto& res = res_of[mep];
+          for (const index_t e : boundary_edges[mep])
+            flux_edge(std::size_t(e), state_of, prim_of, res);
         }
       });
 
   // Phase 3: return ghost-vertex residual contributions to their owners
   // (the packed send of Fig. 6a's accumulate step) through the second
-  // plan, and assemble owned rows.
+  // plan; the owned-row copy is the interior work that hides the return
+  // trip in overlap mode.
   core::PartitionData contrib_data(np);
   for (index_t p = 0; p < nparts; ++p) {
     auto& buf = contrib_data[std::size_t(p)];
@@ -338,13 +391,16 @@ std::vector<State> parallel_residual(const Level& lvl,
         for (index_t v : nodes)
           buf[w++] = res_of[std::size_t(p)][std::size_t(v)][c];
   }
-  const core::PartitionData& returned = plan2.exchange(contrib_data);
+  plan2.post(contrib_data);
+  const core::PartitionData* returned = overlap ? nullptr : &plan2.finish();
 
   std::vector<State> result(n, State{});
   for (std::size_t v = 0; v < n; ++v)
     result[v] = res_of[std::size_t(part[v])][v];
+  if (overlap) returned = &plan2.finish();
+
   for (index_t p = 0; p < nparts; ++p) {
-    const auto& got = returned[std::size_t(p)];
+    const auto& got = (*returned)[std::size_t(p)];
     std::size_t k = 0;
     for (index_t q = 0; q < nparts; ++q) {
       const auto it = contrib[std::size_t(q)].find(p);

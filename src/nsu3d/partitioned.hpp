@@ -68,11 +68,22 @@ core::RequestLists halo_requests(const Level& lvl,
 /// through a second plan. Used to validate the halo machinery: the result
 /// must match the serial residual bit-for-bit up to summation order, with
 /// either exchange strategy and with halo fault injection on or off.
+///
+/// The per-rank edge loop is split at plan-build time into interior edges
+/// (both endpoints owned — no ghost state touched) and boundary edges
+/// (halo-adjacent), always run interior-first. With `overlap` set, the
+/// ghost exchange flies under the interior loop (post → interior compute →
+/// finish → boundary compute) and the contribution return flies under the
+/// owned-row assembly. Both modes execute the identical floating-point
+/// sequence — only the moment the wire completes differs — so overlap
+/// on/off results are bit-identical by construction (DESIGN.md, "The
+/// interior/boundary split invariant").
 std::vector<State> parallel_residual(const Level& lvl,
                                      const std::vector<State>& u,
                                      const euler::Prim& freestream,
                                      std::span<const index_t> part,
                                      index_t nparts,
-                                     const core::ExchangePlanOptions& comm = {});
+                                     const core::ExchangePlanOptions& comm = {},
+                                     bool overlap = false);
 
 }  // namespace columbia::nsu3d

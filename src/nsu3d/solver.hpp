@@ -97,6 +97,22 @@ class Nsu3dSolver {
   int num_levels() const { return int(levels_.size()); }
   const Level& level(int l) const { return levels_[std::size_t(l)]; }
   std::span<const State> solution() const { return state_[0]; }
+  /// Current state of any level (coarse levels hold the latest FAS
+  /// restriction) — read-only, for per-level halo exchanges driven off
+  /// the level hooks.
+  std::span<const State> solution(int l) const {
+    return state_[std::size_t(l)];
+  }
+
+  /// Read-only level-visit hooks (core::MultigridDriver::set_level_hooks):
+  /// `begin` fires on entry to a level visit, `end` right after its
+  /// pre-smoother — the post()/finish() anchor points for split halo
+  /// exchanges. Hooks must not mutate solver state; histories stay
+  /// bit-identical with hooks installed or absent.
+  void set_level_hooks(std::function<void(int)> begin,
+                       std::function<void(int)> end) {
+    driver_.set_level_hooks(std::move(begin), std::move(end));
+  }
 
   Forces integrate_forces() const;
   std::vector<LevelWork> level_work() const;

@@ -20,7 +20,7 @@ std::string strategy_name(std::int64_t strat) {
 
 namespace {
 
-enum class Kind { Pack, Post, Wait, Unpack, Retransmit, Other };
+enum class Kind { Pack, Post, Wait, Unpack, Retransmit, Park, Other };
 
 Kind kind_of(const std::string& name) {
   if (name == "halo.xchg.pack") return Kind::Pack;
@@ -28,6 +28,7 @@ Kind kind_of(const std::string& name) {
   if (name == "halo.xchg.wait") return Kind::Wait;
   if (name == "halo.xchg.unpack") return Kind::Unpack;
   if (name == "halo.xchg.retransmit") return Kind::Retransmit;
+  if (name == "halo.xchg.park") return Kind::Park;
   return Kind::Other;
 }
 
@@ -124,7 +125,9 @@ CommReport build_comm_report(const std::vector<PhaseEvent>& events) {
   };
   std::vector<CommSpan> spans;
   std::map<std::int64_t, double> level_comm_us, level_interior_us;
+  std::map<std::int64_t, double> level_park_us;
   std::map<std::int64_t, std::set<std::int64_t>> level_ranks;
+  std::map<std::int64_t, std::set<std::int64_t>> level_parked;
 
   for (const auto& [tid, evs] : per_tid) {
     std::vector<Frame> stack;
@@ -152,7 +155,13 @@ CommReport build_comm_report(const std::vector<PhaseEvent>& events) {
         s.t1_us = e->ts_us;
         s.excl_us = excl_us;
         spans.push_back(s);
-        if (s.level >= 0) level_ranks[s.level].insert(s.rank);
+        if (s.level >= 0) {
+          level_ranks[s.level].insert(s.rank);
+          if (s.kind == Kind::Park) {
+            level_park_us[s.level] += s.excl_us;
+            level_parked[s.level].insert(s.rank);
+          }
+        }
       }
       if (f.begin->level >= 0) {
         if (is_comm_phase(f.begin->name))
@@ -202,6 +211,7 @@ CommReport build_comm_report(const std::vector<PhaseEvent>& events) {
         case Kind::Retransmit:
           g.retransmits += 1;
           break;
+        case Kind::Park:
         case Kind::Other:
           break;
       }
@@ -277,6 +287,15 @@ CommReport build_comm_report(const std::vector<PhaseEvent>& events) {
     lo.interior_s = ii != level_interior_us.end() ? ii->second / 1e6 : 0;
     lo.coverable_s = std::min(lo.wait_s, lo.interior_s);
     lo.headroom = lo.wait_s > 0 ? lo.coverable_s / lo.wait_s : 1;
+    // Claimed overlap: late-receiver time is exactly the share of each
+    // message's life spent already-delivered while the receiver computed.
+    for (const CommGroup& g : out.groups)
+      if (g.level == level)
+        for (const WaitCell& c : g.cells) lo.claimed_s += c.late_receiver_s;
+    const auto pu = level_park_us.find(level);
+    lo.park_s = pu != level_park_us.end() ? pu->second / 1e6 : 0;
+    const auto pr = level_parked.find(level);
+    lo.parked_ranks = pr != level_parked.end() ? int(pr->second.size()) : 0;
     const auto mi = level_max_cell_msgs.find(level);
     lo.exchanges = mi != level_max_cell_msgs.end() ? mi->second : 0;
     if (lo.exchanges > 0 && lo.ranks > 0) {
@@ -331,14 +350,21 @@ Table comm_strategy_table(const CommReport& r) {
 }
 
 Table comm_overlap_table(const CommReport& r) {
+  // "claimed ms" vs "coverable ms" closes the loop on the headroom
+  // advisor: coverable is what interior compute could hide, claimed is
+  // the late-receiver time the split post()/finish() path actually hid.
   Table t({"level", "ranks", "exchanges", "comm ms", "wait ms",
-           "interior ms", "headroom", "advice"});
+           "interior ms", "coverable ms", "claimed ms", "headroom",
+           "park ms", "advice"});
   for (const LevelOverlap& l : r.levels) {
     t.add_row({std::to_string(l.level), std::to_string(l.ranks),
                std::to_string(l.exchanges), Table::num(l.comm_s * 1e3, 3),
                Table::num(l.wait_s * 1e3, 3),
                Table::num(l.interior_s * 1e3, 3),
+               Table::num(l.coverable_s * 1e3, 3),
+               Table::num(l.claimed_s * 1e3, 3),
                Table::num(l.headroom, 3),
+               Table::num(l.park_s * 1e3, 3),
                l.agglomerate ? "agglomerate" : "-"});
   }
   return t;
@@ -391,7 +417,10 @@ void write_comm_json_into(JsonWriter& w, const CommReport& r) {
     w.kv("comm_s", l.comm_s);
     w.kv("interior_s", l.interior_s);
     w.kv("coverable_s", l.coverable_s);
+    w.kv("claimed_s", l.claimed_s);
     w.kv("headroom", l.headroom);
+    w.kv("park_s", l.park_s);
+    w.kv("parked_ranks", std::int64_t(l.parked_ranks));
     w.kv("comm_per_exchange_s", l.comm_per_exchange_s);
     w.kv("compute_per_exchange_s", l.compute_per_exchange_s);
     w.kv("agglomerate", l.agglomerate);

@@ -63,6 +63,17 @@ struct LevelOverlap {
   double interior_s = 0;  // exclusive non-comm seconds at this level
   double coverable_s = 0; // min(wait_s, interior_s)
   double headroom = 1;    // coverable_s / wait_s; 1 when wait_s == 0
+  /// Overlap actually claimed by the split post()/finish() path: the
+  /// late-receiver seconds at this level — message time that aged under
+  /// interior compute before the receiver's wait began. The blocking path
+  /// shows ~0 here; the report pairs it against coverable_s to close the
+  /// loop on the headroom advisor ("claimed vs coverable").
+  double claimed_s = 0;
+  /// Rank-agglomeration accounting: exclusive seconds members spent parked
+  /// (outside the level's active set, validating locally) and how many
+  /// distinct ranks parked.
+  double park_s = 0;
+  int parked_ranks = 0;
   std::uint64_t exchanges = 0;  // max matched messages over any cell
   int ranks = 0;
   double comm_per_exchange_s = 0;     // comm_s / ranks / exchanges

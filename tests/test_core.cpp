@@ -217,6 +217,21 @@ TEST(ExchangePlan, SteadyStateExchangePerformsZeroAllocations) {
   }
   EXPECT_EQ(g_alloc_count.load() - before, 0u)
       << "ExchangePlan::exchange allocated on the steady-state path";
+
+  // The split overlap entry points are the same machinery under the same
+  // contract: post() + interior compute + finish() must stay
+  // allocation-free in steady state too.
+  const std::uint64_t split_before = g_alloc_count.load();
+  for (int round = 0; round < 8; ++round) {
+    t2t.post(s.data);
+    master.post(s.data);
+    for (auto& d : s.data)
+      for (auto& v : d) v *= 1.0 + 1e-6;  // overlapped "interior compute"
+    t2t.finish();
+    master.finish();
+  }
+  EXPECT_EQ(g_alloc_count.load() - split_before, 0u)
+      << "ExchangePlan::post/finish allocated on the steady-state path";
 }
 
 TEST(ExchangePlan, ScheduleStatisticsMatchRequestLists) {

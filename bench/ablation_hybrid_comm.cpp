@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <optional>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -31,6 +32,7 @@
 #include "nsu3d/partitioned.hpp"
 #include "obs/comm_report.hpp"
 #include "obs/obs.hpp"
+#include "obs/shard.hpp"
 #include "smp/hybrid.hpp"
 #include "support/timer.hpp"
 
@@ -236,6 +238,48 @@ int main(int argc, char** argv) {
     }
     ct.print();
     rep.table("comm_observatory", ct);
+  }
+
+  // Flight-recorder ablation: the distributed flight recorder
+  // (obs/shard.hpp) arms the same span recorder the observatory pass
+  // uses, plus a durable-rewrite autoflush thread that keeps rewriting
+  // the whole shard through fsync+rename on a short period. This series
+  // prices that against the recorder-off exchange on the same plan —
+  // the cost a forked rank pays for leaving a mergeable shard behind.
+  // "exchange (us)" is Timing-gated by the perf gate; "messages" is
+  // exact. Obs-compiled builds only, like comm_observatory.
+  if (obs::kCompiledIn) {
+    Table ft({"mode", "messages", "exchange (us)"});
+    for (const bool armed : {false, true}) {
+      core::ExchangePlanOptions opt = configs[0].opt;
+      opt.level = 0;
+      core::ExchangePlan xplan(requests, opt);
+      xplan.exchange(data);  // warm-up (first-use obs registries)
+      std::optional<obs::FlightRecorder> rec;
+      if (armed) {
+        obs::ShardOptions so;
+        const char* tmp = std::getenv("TMPDIR");
+        so.path = std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
+                  "/columbia_bench_flight_recorder.rank0.round0.jsonl";
+        so.backend = "local";
+        so.flush_ms = 25;  // durable rewrites land mid-measurement
+        rec.emplace(so);
+      }
+      WallTimer timer;
+      for (int e = 0; e < kExchanges; ++e) xplan.exchange(data);
+      const double us = timer.seconds() * 1e6 / kExchanges;
+      if (rec) {
+        rec->finalize(obs::ShardClock{});
+        std::remove(rec->path().c_str());
+      }
+      obs::set_enabled(false);
+      obs::reset_trace();
+      ft.add_row({armed ? "recorder on (t2t)" : "recorder off (t2t)",
+                  std::to_string(xplan.messages_per_exchange()),
+                  Table::num(us, 1)});
+    }
+    ft.print();
+    rep.table("flight_recorder", ft);
   }
 
   // Overlap ablation (interior/boundary split, Figs. 16-19): two group

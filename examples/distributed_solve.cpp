@@ -28,9 +28,16 @@
 //   --trace PATH               record solver + halo.xchg spans and write a
 //                              Chrome trace (feed to `columbia_report comm`
 //                              for the per-level overlap/claimed table).
-//                              In-process only: use --backend threads
-//                              (forked ranks record in their own address
-//                              space and exit without exporting)
+//                              Works on all three backends: the forked
+//                              backends arm a per-rank flight recorder
+//                              (durable PATH.shards.rank<r>.round<k>.jsonl
+//                              telemetry shards, clock-synced against
+//                              member 0), and the launcher merges the
+//                              gathered shards into one clock-aligned
+//                              multi-rank trace at PATH
+//   --jsonl PATH               convergence JSONL sink; forked ranks write
+//                              per-rank suffixed files (conv.rank0.jsonl),
+//                              the threads backend one combined file
 //
 // Every multigrid level runs its own wire exchange per visit, posted on
 // entry to the level and finished after its pre-smoother (the split rides
@@ -64,6 +71,8 @@
 #include "nsu3d/partitioned.hpp"
 #include "nsu3d/solver.hpp"
 #include "obs/obs.hpp"
+#include "obs/shard.hpp"
+#include "obs/telemetry.hpp"
 #include "resil/faults.hpp"
 #include "resil/guard.hpp"
 #include "smp/pool.hpp"
@@ -88,6 +97,7 @@ struct Cli {
   bool overlap = true;
   index_t agglomerate = 64;
   std::string trace;
+  std::string jsonl;
 };
 
 void usage() {
@@ -97,7 +107,10 @@ void usage() {
       "  --tpp N  --cycles N  --orders X  --checkpoint PATH\n"
       "  --history PATH  --faults SPEC  --relaunch N\n"
       "  --overlap 0|1  --agglomerate N (min nodes/rank, 0 = off)\n"
-      "  --trace PATH   Chrome trace of the spans (--backend threads only)\n"
+      "  --trace PATH   Chrome trace of the spans, any backend (forked\n"
+      "                 ranks record durable per-rank telemetry shards,\n"
+      "                 clock-synced and merged into PATH by the launcher)\n"
+      "  --jsonl PATH   convergence JSONL (per-rank suffixed when forked)\n"
       "  --faults-help              print the COLUMBIA_FAULTS grammar\n");
 }
 
@@ -107,6 +120,12 @@ void usage() {
 constexpr index_t kHaloParts = 8;
 
 int solve_rank(int rank, core::Transport& t, const Cli& cli) {
+  // Forked ranks each own a process-wide sink: suffix it per rank so two
+  // ranks never truncate each other's convergence stream. (The threads
+  // backend shares one process; main() opens its single combined sink.)
+  if (!cli.jsonl.empty() && cli.backend != "threads")
+    obs::open_jsonl(obs::rank_suffixed_path(cli.jsonl, rank));
+
   mesh::WingMeshSpec spec;
   spec.n_wrap = 24;
   spec.n_span = 4;
@@ -258,7 +277,21 @@ int solve_rank(int rank, core::Transport& t, const Cli& cli) {
   resil::GuardCallbacks cb;
   cb.solver = "nsu3d";
   cb.residual_norm = [&] { return solver.residual_norm(); };
-  cb.run_cycle = [&] { return solver.run_cycle(); };
+  // guarded_solve drives cycles itself (MultigridDriver::solve's emitting
+  // loop is bypassed), so convergence telemetry is emitted here. Read-only
+  // on the solve: histories stay bit-identical with the sink on or off.
+  int telem_cycle = 0;
+  cb.run_cycle = [&] {
+    const real_t r = solver.run_cycle();
+    if (obs::telemetry_active()) {
+      obs::CycleRecord rec;
+      rec.solver = "nsu3d";
+      rec.cycle = ++telem_cycle;
+      rec.residual = double(r);
+      obs::emit_cycle(rec);
+    }
+    return r;
+  };
   cb.snapshot = [&](std::uint64_t cycle, std::span<const real_t> history) {
     return solver.make_checkpoint(cycle, history);
   };
@@ -370,6 +403,10 @@ int run_processes(const Cli& cli, smp::GroupBackend backend) {
   smp::ProcessGroupOptions opts;
   opts.ranks = cli.ranks;
   opts.backend = backend;
+  // --trace on a forked backend: every rank records a durable telemetry
+  // shard next to the requested trace path; the merge below builds the
+  // single clock-aligned Chrome trace the flag promises.
+  if (!cli.trace.empty()) opts.telemetry_base = cli.trace + ".shards";
   int relaunches = 0;
   const smp::GroupResult res = smp::ProcessGroup::run_recovering(
       opts, [&](int rank, core::Transport& t) { return solve_rank(rank, t, cli); },
@@ -382,6 +419,29 @@ int run_processes(const Cli& cli, smp::GroupBackend backend) {
   }
   print_group(!res.ok ? "failed" : relaunches > 0 ? "recovered" : "ok",
               res.total, relaunches);
+
+  if (!cli.trace.empty()) {
+    std::vector<obs::TelemetryShard> shards;
+    for (const std::string& path : res.shards) {
+      obs::TelemetryShard s;
+      std::string err;
+      if (obs::read_shard_file(path, s, &err))
+        shards.push_back(std::move(s));
+      else
+        std::fprintf(stderr, "trace: skipping shard %s: %s\n", path.c_str(),
+                     err.c_str());
+    }
+    const obs::MergedTelemetry merged = obs::merge_shards(std::move(shards));
+    for (const std::string& w : merged.warnings)
+      std::fprintf(stderr, "trace: warning: %s\n", w.c_str());
+    if (obs::write_merged_chrome_trace_file(cli.trace, merged))
+      std::printf("trace: %zu events from %zu shards (%d ranks, %d rounds) "
+                  "-> %s\n",
+                  merged.events.size(), merged.shards.size(), merged.ranks,
+                  merged.rounds, cli.trace.c_str());
+    else
+      std::fprintf(stderr, "trace: cannot write %s\n", cli.trace.c_str());
+  }
   return res.ok ? 0 : 1;
 }
 
@@ -422,6 +482,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(a, "--agglomerate") == 0)
       cli.agglomerate = index_t(std::atoll(argv[i + 1]));
     if (std::strcmp(a, "--trace") == 0) cli.trace = argv[i + 1];
+    if (std::strcmp(a, "--jsonl") == 0) cli.jsonl = argv[i + 1];
   }
   if (cli.ranks < 1 || cli.tpp < 1 || kHaloParts % cli.tpp != 0) {
     std::fprintf(stderr, "bad --ranks/--tpp (tpp must divide %d)\n",
@@ -445,7 +506,10 @@ int main(int argc, char** argv) {
       cli.backend.c_str(), cli.ranks,
       cli.strategy == core::ExchangeStrategy::MasterThread ? "master" : "t2t",
       cli.overlap ? 1 : 0, (long long)cli.agglomerate);
-  if (!cli.trace.empty()) obs::set_enabled(true);
+  if (!cli.trace.empty() || !cli.jsonl.empty()) obs::set_enabled(true);
+  if (!cli.jsonl.empty() && cli.backend == "threads" &&
+      !obs::open_jsonl(cli.jsonl))
+    std::fprintf(stderr, "jsonl: cannot write %s\n", cli.jsonl.c_str());
   // Fork discipline: the process backends fork BEFORE any solver work has
   // touched the global thread pool; children build their own pools.
   int rc = 1;
@@ -460,7 +524,9 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
-  if (!cli.trace.empty()) {
+  // The forked backends already wrote the merged multi-rank trace in
+  // run_processes; this in-process export covers the threads backend.
+  if (!cli.trace.empty() && cli.backend == "threads") {
     smp::ThreadPool::global().publish_stats();
     if (obs::write_chrome_trace_file(cli.trace))
       std::printf("trace: %zu events -> %s\n", obs::num_trace_events(),

@@ -85,6 +85,52 @@ for cell in "${CELLS[@]}"; do
   fi
 done
 
+# Traced cell: the distributed flight recorder end-to-end. A traced shm
+# run must (a) leave one durable telemetry shard per rank next to the
+# requested trace, (b) keep the solve history bit-identical to the
+# untraced reference (the recorder is numerically invisible), and (c)
+# yield a non-empty clock-aligned comm report when the shards are fed to
+# `columbia_report comm` — matched halo messages > 0, both ranks in the
+# liveness table, and no provenance mismatch.
+echo
+echo "== soak: traced shm run -> merged comm report =="
+REPORT="$BUILD_DIR/tools/columbia_report"
+if [[ ! -x "$REPORT" ]]; then
+  echo "FAIL trace-shm: $REPORT not built"
+  fail=1
+elif run trace-shm "$WORK/trace-shm.txt" --backend shm --ranks 2 \
+    --strategy t2t --trace "$WORK/trace-shm.json"; then
+  if ! cmp -s "$WORK/ref-t2t.txt" "$WORK/trace-shm.txt"; then
+    echo "FAIL trace-shm: traced history differs from the clean reference"
+    fail=1
+  fi
+  shards=("$WORK"/trace-shm.json.shards.rank*.jsonl)
+  if [[ ! -e "${shards[0]:-}" ]]; then
+    echo "FAIL trace-shm: no telemetry shards left beside the trace"
+    fail=1
+  elif grep -q '"obs":false' "${shards[0]}"; then
+    echo "skip trace-shm report: observability compiled out in this build"
+  elif ! "$REPORT" comm --json "${shards[@]}" >"$WORK/trace-shm-comm.json" \
+      2>"$WORK/trace-shm-comm.err"; then
+    echo "FAIL trace-shm: columbia_report comm failed on the shards"
+    sed 's/^/    /' "$WORK/trace-shm-comm.err"
+    fail=1
+  else
+    python3 - "$WORK/trace-shm-comm.json" <<'PY' || fail=1
+import json, sys
+run = json.load(open(sys.argv[1]))["runs"][0]
+msgs = sum(g["messages"] for g in run["comm"]["groups"])
+live = len(run["liveness"])
+ok = msgs > 0 and live == 2 and not run["provenance_mismatch"]
+word = "ok  " if ok else "FAIL"
+print(f"{word} trace-shm comm report: {msgs} matched messages, "
+      f"{live} liveness rows, provenance "
+      f"{'mismatch' if run['provenance_mismatch'] else 'clean'}")
+sys.exit(0 if ok else 1)
+PY
+  fi
+fi
+
 echo
 if [[ "$fail" -ne 0 ]]; then
   echo "== soak: FAILED =="

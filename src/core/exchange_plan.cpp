@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/clock_sync.hpp"
 #include "obs/obs.hpp"
 #include "resil/faults.hpp"
 #include "support/assert.hpp"
@@ -736,9 +737,18 @@ void ExchangePlan::drain(int quiet_ms) {
     for (int peer = 0; peer < t->group_size(); ++peer) {
       if (peer == me) continue;
       if (t->recv(peer, wire_in_, 10) != RecvOutcome::Ok) continue;
-      last_traffic = std::chrono::steady_clock::now();
       WireHeader h;
-      if (!decode_wire(wire_in_, h, wire_frame_)) continue;
+      if (!decode_wire(wire_in_, h, wire_frame_)) {
+        last_traffic = std::chrono::steady_clock::now();
+        continue;
+      }
+      // A peer already in its teardown clock sync (core/clock_sync.hpp)
+      // pings member 0 while we may still be draining: answer so its burst
+      // completes, but do NOT treat the Ping as wire traffic — resetting
+      // the quiet timer on every probe would hold the drain open for the
+      // whole sync budget.
+      if (answer_ping(*t, peer, h, wire_frame_)) continue;
+      last_traffic = std::chrono::steady_clock::now();
       if (WireType(h.type) != WireType::Data) continue;
       // With our schedule complete, every inbound Data frame duplicates a
       // channel we already delivered; the Ack we sent for it must have

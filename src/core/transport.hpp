@@ -91,7 +91,18 @@ class TransportError : public std::runtime_error {
 // receivers match retransmitted attempts, discard stale duplicates, and
 // re-acknowledge Data whose Ack was lost, all per (exchange seq, channel).
 
-enum class WireType : std::uint16_t { Data = 1, Ack = 2, Nak = 3 };
+enum class WireType : std::uint16_t {
+  Data = 1,
+  Ack = 2,
+  Nak = 3,
+  // Clock-synchronization side channel (core/clock_sync.hpp): a Ping
+  // carries the client's send timestamp, the Pong echoes it plus the
+  // server's receive/transmit stamps. Both ride the ordinary datagram
+  // plane; exchange recv loops that are not expecting them skip them the
+  // same way they skip stale Ack/Nak control.
+  Ping = 4,
+  Pong = 5,
+};
 
 struct WireHeader {
   std::uint64_t seq = 0;       // endpoint exchange sequence number

@@ -36,6 +36,7 @@ Kind kind_of(const std::string& name) {
 struct CommSpan {
   Kind kind = Kind::Other;
   std::int64_t level = -1, rank = -1, nbr = -1, strat = -1, bytes = -1;
+  std::int64_t round = 0;  // relaunch round (merged telemetry shards)
   double t0_us = 0, t1_us = 0;
   double excl_us = 0;  // minus same-thread children (nested waits)
 };
@@ -48,9 +49,13 @@ struct GroupKey {
   }
 };
 
+/// Waits match posts k-th-to-k-th per directed pair WITHIN one relaunch
+/// round: a failed round's unmatched post tail must never slide under the
+/// next round's waits (in-process recordings are all round 0).
 struct PairKey {
-  std::int64_t sender, receiver;
+  std::int64_t round, sender, receiver;
   bool operator<(const PairKey& o) const {
+    if (round != o.round) return round < o.round;
     if (sender != o.sender) return sender < o.sender;
     return receiver < o.receiver;
   }
@@ -151,6 +156,7 @@ CommReport build_comm_report(const std::vector<PhaseEvent>& events) {
         s.nbr = f.begin->nbr;
         s.strat = f.begin->strat;
         s.bytes = f.begin->bytes;
+        s.round = f.begin->round;
         s.t0_us = f.begin->ts_us;
         s.t1_us = e->ts_us;
         s.excl_us = excl_us;
@@ -199,11 +205,11 @@ CommReport build_comm_report(const std::vector<PhaseEvent>& events) {
           break;
         case Kind::Post:
           g.post_s += excl_s;
-          posts[{s.rank, s.nbr}].push_back(&s);
+          posts[{s.round, s.rank, s.nbr}].push_back(&s);
           break;
         case Kind::Wait:
           g.wait_s += excl_s;
-          waits[{s.nbr, s.rank}].push_back(&s);
+          waits[{s.round, s.nbr, s.rank}].push_back(&s);
           break;
         case Kind::Unpack:
           g.unpack_s += excl_s;
@@ -219,7 +225,9 @@ CommReport build_comm_report(const std::vector<PhaseEvent>& events) {
     g.ranks = int(ranks.size());
 
     std::map<const CommSpan*, const CommSpan*> matched_post;
-    std::map<PairKey, WaitCell> cells;  // keyed (rank=receiver, nbr=sender)
+    // Cells aggregate over rounds: the matrix reports the directed pair,
+    // not the launch attempt. Keyed (rank=receiver, nbr=sender).
+    std::map<std::pair<std::int64_t, std::int64_t>, WaitCell> cells;
     for (auto& [pk, ws] : waits) {
       std::stable_sort(ws.begin(), ws.end(),
                        [](const CommSpan* a, const CommSpan* b) {
@@ -251,11 +259,23 @@ CommReport build_comm_report(const std::vector<PhaseEvent>& events) {
             std::min(std::max(p->t1_us - w->t0_us, 0.0), w->excl_us);
         cell.late_sender_s += overlap_us / 1e6;
         cell.late_receiver_s += std::max(w->t0_us - p->t1_us, 0.0) / 1e6;
+        // Measured delivery: post begin to wait end, the span the machine
+        // model prices as latency + payload/bandwidth. Guard >= 0 — clock
+        // correction is only good to the sync RTT.
+        const double xfer_s = std::max(w->t1_us - p->t0_us, 0.0) / 1e6;
+        if (cell.messages == 1 || xfer_s < cell.xfer_min_s)
+          cell.xfer_min_s = xfer_s;
+        cell.xfer_s += xfer_s;
       }
     }
     for (auto& [ck, cell] : cells) {
       g.messages += cell.messages;
       g.bytes += cell.bytes;
+      if (cell.messages > 0) {
+        if (g.messages == cell.messages || cell.xfer_min_s < g.xfer_min_s)
+          g.xfer_min_s = cell.xfer_min_s;  // first matched cell seeds the min
+        g.xfer_s += cell.xfer_s;
+      }
       if (g.level >= 0) {
         std::uint64_t& mx = level_max_cell_msgs[g.level];
         mx = std::max(mx, cell.messages);
@@ -389,6 +409,8 @@ void write_comm_json_into(JsonWriter& w, const CommReport& r) {
     w.kv("post_s", g.post_s);
     w.kv("wait_s", g.wait_s);
     w.kv("unpack_s", g.unpack_s);
+    w.kv("xfer_s", g.xfer_s);
+    w.kv("xfer_min_s", g.xfer_min_s);
     w.kv("critical_path_s", g.critical_path_s);
     w.kv("retransmits", g.retransmits);
     w.key("cells").begin_array();
@@ -401,6 +423,8 @@ void write_comm_json_into(JsonWriter& w, const CommReport& r) {
       w.kv("wait_s", c.wait_s);
       w.kv("late_sender_s", c.late_sender_s);
       w.kv("late_receiver_s", c.late_receiver_s);
+      w.kv("xfer_s", c.xfer_s);
+      w.kv("xfer_min_s", c.xfer_min_s);
       w.end_object();
     }
     w.end_array();

@@ -36,6 +36,12 @@ struct WaitCell {
   double wait_s = 0;            // total blocking-wait seconds
   double late_sender_s = 0;     // wait overlapped by the sender's post
   double late_receiver_s = 0;   // message aged before the wait began
+  /// Measured end-to-end delivery: sum over matched pairs of (wait end -
+  /// post begin) — the wire's share of each message's life, the quantity
+  /// the machine-model attribution compares against perf::FabricModel.
+  double xfer_s = 0;
+  /// Fastest single delivery in the cell (the latency-floor estimate).
+  double xfer_min_s = 0;
 };
 
 /// Per-(multigrid level, exchange strategy) rollup of the exchange phases.
@@ -47,6 +53,10 @@ struct CommGroup {
   std::uint64_t retransmits = 0;
   std::uint64_t messages = 0;  // matched pairs over all cells
   std::uint64_t bytes = 0;
+  /// Summed measured delivery time and its per-group minimum (see
+  /// WaitCell::xfer_s); 0 when no pair matched.
+  double xfer_s = 0;
+  double xfer_min_s = 0;
   /// Longest dependency chain through the group's exchange DAG: spans
   /// chain sequentially per rank (exclusive durations, so nested waits are
   /// not double-counted) and each wait additionally depends on its matched

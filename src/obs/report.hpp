@@ -40,6 +40,10 @@ struct PhaseEvent {
   std::int64_t nbr = -1;    // neighbor rank the message moves to/from
   std::int64_t strat = -1;  // exchange strategy: 0 = t2t, 1 = master
   std::int64_t bytes = -1;  // payload bytes (post/pack spans)
+  /// Launch round the event was recorded in (run_recovering relaunches).
+  /// In-process recordings are always round 0; merged telemetry shards
+  /// stamp it so post/wait matching never pairs across a relaunch seam.
+  std::int64_t round = 0;
 };
 
 /// Exclusive-time statistics for one (phase, level) pair. `min/mean/p95/

@@ -6,11 +6,15 @@
 #include <fstream>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "obs/comm_report.hpp"
+#include "obs/json.hpp"
 #include "obs/json_parse.hpp"
 #include "obs/report.hpp"
+#include "obs/shard.hpp"
+#include "perf/wire_model.hpp"
 #include "support/build_info.hpp"
 #include "support/table.hpp"
 
@@ -23,14 +27,25 @@ constexpr const char* kUsageText =
     "       columbia_report comm TRACE...\n"
     "\n"
     "  FILE               Chrome trace JSON (--trace / write_chrome_trace),\n"
-    "                     convergence JSONL (--jsonl / open_jsonl), or a\n"
-    "                     bench --json report (classified by content)\n"
+    "                     convergence JSONL (--jsonl / open_jsonl), a\n"
+    "                     per-rank telemetry shard (*.rankR.roundK.jsonl,\n"
+    "                     written by the distributed flight recorder), or\n"
+    "                     a bench --json report (classified by content)\n"
     "  comm TRACE...      communication observatory: per-rank wait-state\n"
     "                     attribution from the traces' halo.xchg spans —\n"
     "                     rank x neighbor wait matrix with late-sender /\n"
     "                     late-receiver split, per-(level, strategy)\n"
     "                     critical path, per-level overlap headroom and\n"
-    "                     coarse-level agglomeration advice (Figs. 16-19)\n"
+    "                     coarse-level agglomeration advice (Figs. 16-19).\n"
+    "                     Shard files given together are clock-aligned and\n"
+    "                     merged first; merged traces add a rank-liveness\n"
+    "                     timeline and a measured-vs-model fabric table\n"
+    "  --fabric NAME      machine model to price wire traffic against, by\n"
+    "                     backend name (threads/shm/tcp); default: the\n"
+    "                     trace's recorded backend\n"
+    "  --json             comm mode: emit the report as one JSON document\n"
+    "                     (provenance_mismatch flag, warnings, wait\n"
+    "                     matrix, wire model, liveness) instead of tables\n"
     "  --baseline PATH    perf gate: compare the bench-report FILE against\n"
     "                     the committed baseline at PATH\n"
     "  --tolerance T      allowed timing slowdown for the gate: '10%', or\n"
@@ -45,9 +60,11 @@ constexpr const char* kUsageText =
 struct Options {
   std::vector<std::string> files;
   std::string baseline;
+  std::string fabric;  // backend name overriding the trace's for the model
   double tolerance = 0.10;
   bool tolerance_set = false;
   bool comm = false;
+  bool json = false;
 };
 
 /// One-line provenance stamp (satellite of ISSUE 7): archived reports stay
@@ -88,13 +105,57 @@ bool read_file(const std::string& path, std::string& out, std::ostream& err) {
 
 // --- trace ingest ---------------------------------------------------------
 
+/// One rank shard's liveness story on the merged timeline: when it
+/// started, when the autoflush thread last proved it alive, whether it
+/// reached its footer, and what the clock sync against member 0 measured.
+struct LivenessRow {
+  int rank = 0;
+  int round = 0;
+  std::int64_t pid = 0;
+  bool truncated = true;
+  int flushes = 0;
+  double start_us = 0;       // merged timeline (member 0's clock)
+  double last_flush_us = 0;  // merged timeline
+  double end_us = 0;         // merged timeline; valid when !truncated
+  ShardClock clock;
+  std::string fault_spec;
+};
+
 struct TraceRun {
   std::string path;
   std::int64_t threads = 0;  // from "columbia" metadata, else max tid + 1
   std::string git_sha;
+  std::string build_type;
+  std::string backend;  // wire backend the run recorded over ("" if unknown)
   PhaseProfile profile;
   std::vector<PhaseEvent> events;  // kept for the comm observatory
+  std::vector<LivenessRow> liveness;   // per-shard, for multi-process runs
+  std::vector<std::string> warnings;   // merge provenance / sync anomalies
+  bool provenance_mismatch = false;    // see check_provenance()
 };
+
+/// Raw-ns clock fields are JSON strings in shard documents (doubles lose
+/// precision past 2^53); merged-trace metadata round-trips them the same
+/// way, so accept either spelling.
+std::int64_t i64_field(const JsonValue& o, const char* key) {
+  const JsonValue* v = o.find(key);
+  if (v == nullptr) return 0;
+  if (v->is_number()) return std::int64_t(v->number());
+  if (v->is_string()) return std::strtoll(v->str().c_str(), nullptr, 10);
+  return 0;
+}
+
+ShardClock clock_field(const JsonValue& o, const char* key) {
+  ShardClock c;
+  const JsonValue* v = o.find(key);
+  if (v == nullptr || !v->is_object()) return c;
+  const JsonValue* s = v->find("synced");
+  c.synced = s != nullptr && s->is_bool() && s->boolean();
+  c.offset_ns = i64_field(*v, "offset_ns");
+  c.rtt_ns = i64_field(*v, "rtt_ns");
+  c.samples = int(v->number_or("samples", 0));
+  return c;
+}
 
 bool ingest_trace(const std::string& path, const JsonValue& doc,
                   TraceRun& run, std::ostream& err) {
@@ -123,6 +184,7 @@ bool ingest_trace(const std::string& path, const JsonValue& doc,
       pe.nbr = std::int64_t(args->number_or("nbr", -1));
       pe.strat = std::int64_t(args->number_or("strat", -1));
       pe.bytes = std::int64_t(args->number_or("bytes", -1));
+      pe.round = std::int64_t(args->number_or("round", 0));
     }
     events.push_back(std::move(pe));
   }
@@ -133,9 +195,84 @@ bool ingest_trace(const std::string& path, const JsonValue& doc,
       meta != nullptr && meta->is_object()) {
     run.threads = std::int64_t(meta->number_or("threads", 0));
     run.git_sha = meta->string_or("git_sha", "");
+    run.build_type = meta->string_or("build_type", "");
+    run.backend = meta->string_or("backend", "");
+    if (const JsonValue* ws = meta->find("warnings");
+        ws != nullptr && ws->is_array())
+      for (const JsonValue& wv : ws->items())
+        if (wv.is_string()) run.warnings.push_back(wv.str());
+    if (const JsonValue* sh = meta->find("shards");
+        sh != nullptr && sh->is_array()) {
+      for (const JsonValue& sv : sh->items()) {
+        if (!sv.is_object()) continue;
+        LivenessRow lr;
+        lr.rank = int(sv.number_or("rank", 0));
+        lr.round = int(sv.number_or("round", 0));
+        lr.pid = std::int64_t(sv.number_or("pid", 0));
+        const JsonValue* tr = sv.find("truncated");
+        lr.truncated = tr != nullptr && tr->is_bool() && tr->boolean();
+        lr.flushes = int(sv.number_or("flushes", 0));
+        lr.start_us = sv.number_or("start_us", 0);
+        lr.last_flush_us = sv.number_or("last_flush_us", 0);
+        lr.end_us = sv.number_or("end_us", 0);
+        lr.clock = clock_field(sv, "clock");
+        lr.fault_spec = sv.string_or("fault_spec", "");
+        run.liveness.push_back(std::move(lr));
+      }
+    }
   }
   if (run.threads <= 0) run.threads = max_tid + 1;
   return true;
+}
+
+/// A TraceRun straight from merged telemetry shards, bypassing the Chrome
+/// trace round-trip: the same events `write_merged_chrome_trace` would
+/// emit, so both the phase profile and the comm observatory accept it.
+TraceRun from_merged_shards(MergedTelemetry m, std::string label) {
+  TraceRun run;
+  run.path = std::move(label);
+  run.git_sha = m.git_sha;
+  run.build_type = m.build_type;
+  run.backend = m.backend;
+  run.warnings = std::move(m.warnings);
+  std::set<int> tids;
+  for (const PhaseEvent& e : m.events) tids.insert(e.tid);
+  run.threads = std::int64_t(tids.size());
+  if (run.threads <= 0) run.threads = 1;
+  run.profile = build_profile(m.events);
+  run.events = std::move(m.events);
+  for (const TelemetryShard& s : m.shards) {
+    LivenessRow lr;
+    lr.rank = s.rank;
+    lr.round = s.round;
+    lr.pid = s.pid;
+    lr.truncated = s.truncated;
+    lr.flushes = s.flushes;
+    lr.start_us = s.merged_base_us;
+    lr.last_flush_us = s.merged_base_us + s.last_flush_us;
+    lr.end_us = s.truncated ? 0 : s.merged_base_us + s.end_us;
+    lr.clock = s.clock;
+    lr.fault_spec = s.fault_spec;
+    run.liveness.push_back(std::move(lr));
+  }
+  return run;
+}
+
+/// Provenance guard: the merge already cross-checks shard-vs-shard stamps
+/// (those arrive in run.warnings); here the trace is additionally checked
+/// against the analyzing binary, and the JSON `provenance_mismatch` flag
+/// is derived. Clock-sync anomalies warn without raising the flag.
+void check_provenance(TraceRun& run) {
+  const BuildInfo& bi = build_info();
+  if (!run.git_sha.empty() && run.git_sha != bi.git_sha)
+    run.warnings.push_back("provenance mismatch: trace recorded at git " +
+                           run.git_sha + " but this binary is " + bi.git_sha);
+  if (!run.build_type.empty() && run.build_type != bi.build_type)
+    run.warnings.push_back("provenance mismatch: trace recorded by a " +
+                           run.build_type + " build but this binary is " +
+                           bi.build_type);
+  for (const std::string& w : run.warnings)
+    if (w.find("mismatch") != std::string::npos) run.provenance_mismatch = true;
 }
 
 void print_single_run(const TraceRun& run, std::ostream& out) {
@@ -198,6 +335,106 @@ void print_comm_run(const TraceRun& run, const CommReport& r,
   out << "-- strategy rollup --\n" << comm_strategy_table(r).to_string();
   if (!r.levels.empty())
     out << "-- overlap headroom --\n" << comm_overlap_table(r).to_string();
+}
+
+void print_liveness(const TraceRun& run, std::ostream& out) {
+  if (run.liveness.empty()) return;
+  out << "-- rank liveness (merged timeline, member 0's clock) --\n";
+  Table t({"rank", "round", "pid", "status", "flushes", "start ms",
+           "last flush ms", "end ms", "offset us", "rtt us", "sync"});
+  for (const LivenessRow& r : run.liveness) {
+    t.add_row({std::to_string(r.rank), std::to_string(r.round),
+               std::to_string(r.pid), r.truncated ? "TRUNCATED" : "complete",
+               std::to_string(r.flushes), Table::num(r.start_us / 1e3, 3),
+               Table::num(r.last_flush_us / 1e3, 3),
+               r.truncated ? "-" : Table::num(r.end_us / 1e3, 3),
+               Table::num(double(r.clock.offset_ns) / 1e3, 3),
+               Table::num(double(r.clock.rtt_ns) / 1e3, 3),
+               r.clock.synced ? std::to_string(r.clock.samples) + " pings"
+                              : "-"});
+  }
+  out << t.to_string();
+}
+
+/// The fabric standing in for this run's wire: --fabric wins, else the
+/// backend recorded in the trace/shard metadata. Empty means the trace
+/// predates backend stamping — no model table then.
+std::string model_backend(const Options& opt, const TraceRun& run) {
+  return opt.fabric.empty() ? run.backend : opt.fabric;
+}
+
+void print_wire_model(const Options& opt, const TraceRun& run,
+                      const CommReport& r, std::ostream& out) {
+  const std::string backend = model_backend(opt, run);
+  if (backend.empty() || r.empty()) return;
+  const perf::FabricModel fabric = perf::fabric_for_backend(backend);
+  const std::vector<perf::WireAttribution> rows =
+      perf::attribute_wire(r, fabric);
+  if (rows.empty()) return;
+  out << "-- measured vs machine model (backend " << backend << ") --\n"
+      << perf::fabric_model_line(fabric) << "\n"
+      << perf::wire_model_table(rows, fabric).to_string();
+}
+
+/// `comm --json`: the whole report as one machine-readable document, for
+/// soak/CI assertions (provenance_mismatch flag, non-empty wait matrix).
+void write_comm_json(const Options& opt, const std::vector<TraceRun>& runs,
+                     const std::vector<CommReport>& reports,
+                     std::ostream& out) {
+  const BuildInfo& bi = build_info();
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("report", "comm");
+  w.kv("git_sha", bi.git_sha);
+  w.kv("build_type", bi.build_type);
+  w.key("runs").begin_array();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const TraceRun& run = runs[i];
+    w.begin_object();
+    w.kv("trace", run.path);
+    w.kv("threads", run.threads);
+    w.kv("backend", run.backend);
+    w.kv("git_sha", run.git_sha);
+    w.kv("build_type", run.build_type);
+    w.kv("provenance_mismatch", run.provenance_mismatch);
+    w.key("warnings").begin_array();
+    for (const std::string& s : run.warnings) w.value(s);
+    w.end_array();
+    w.key("comm");
+    write_comm_json_into(w, reports[i]);
+    const std::string backend = model_backend(opt, run);
+    if (!backend.empty() && !reports[i].empty()) {
+      const perf::FabricModel fabric = perf::fabric_for_backend(backend);
+      w.key("wire_model");
+      write_wire_model_json_into(w, perf::attribute_wire(reports[i], fabric),
+                                 fabric);
+    }
+    w.key("liveness").begin_array();
+    for (const LivenessRow& lr : run.liveness) {
+      w.begin_object();
+      w.kv("rank", lr.rank);
+      w.kv("round", lr.round);
+      w.kv("pid", lr.pid);
+      w.kv("truncated", lr.truncated);
+      w.kv("flushes", lr.flushes);
+      w.kv("start_us", lr.start_us);
+      w.kv("last_flush_us", lr.last_flush_us);
+      if (!lr.truncated) w.kv("end_us", lr.end_us);
+      w.key("clock").begin_object();
+      w.kv("synced", lr.clock.synced);
+      w.kv("offset_ns", std::to_string(lr.clock.offset_ns));
+      w.kv("rtt_ns", std::to_string(lr.clock.rtt_ns));
+      w.kv("samples", lr.clock.samples);
+      w.end_object();
+      w.kv("fault_spec", lr.fault_spec);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
 }
 
 /// Fig. 16-18-style cross-trace comparison: one row per (trace, level,
@@ -485,6 +722,18 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       opt.baseline = args[++i];
       continue;
     }
+    if (a == "--fabric") {
+      if (i + 1 >= args.size()) {
+        err << "columbia_report: --fabric needs a backend name\n";
+        return kUsage;
+      }
+      opt.fabric = args[++i];
+      continue;
+    }
+    if (a == "--json") {
+      opt.json = true;
+      continue;
+    }
     if (a == "--tolerance") {
       if (i + 1 >= args.size() ||
           !parse_tolerance(args[i + 1], opt.tolerance)) {
@@ -507,12 +756,27 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   }
 
   // Provenance header on every emitted report (satellite of ISSUE 7).
-  out << version_line() << "\n";
+  // --json keeps stdout a single parseable document instead.
+  if (!opt.json) out << version_line() << "\n";
 
   std::vector<TraceRun> traces;
+  std::vector<TelemetryShard> shard_inputs;
   for (const std::string& path : opt.files) {
     std::string text;
     if (!read_file(path, text, err)) return kUsage;
+    // Telemetry shards first: they are JSONL, not one JSON value, and all
+    // shard files of an invocation merge into ONE clock-aligned run.
+    if (is_shard_text(text)) {
+      TelemetryShard shard;
+      std::string serr;
+      if (!parse_shard(text, shard, &serr)) {
+        err << "columbia_report: " << path << ": " << serr << "\n";
+        return kUsage;
+      }
+      shard.path = path;
+      shard_inputs.push_back(std::move(shard));
+      continue;
+    }
     JsonValue doc;
     if (parse_json(text, doc)) {
       if (doc.find("traceEvents") != nullptr) {
@@ -555,12 +819,36 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     return kUsage;
   }
 
+  if (!shard_inputs.empty()) {
+    std::string label = shard_inputs.front().path;
+    if (shard_inputs.size() > 1)
+      label += " (+" + std::to_string(shard_inputs.size() - 1) + " shards)";
+    traces.push_back(
+        from_merged_shards(merge_shards(std::move(shard_inputs)), label));
+  }
+
+  // Provenance guard: mismatches across shards (from the merge) and
+  // between the trace and this binary warn on stderr; --json additionally
+  // carries them as a machine-readable flag.
+  for (TraceRun& run : traces) {
+    check_provenance(run);
+    for (const std::string& w : run.warnings)
+      err << "columbia_report: warning: " << run.path << ": " << w << "\n";
+  }
+
   if (opt.comm) {
     std::vector<CommReport> reports;
     reports.reserve(traces.size());
-    for (const TraceRun& run : traces) {
+    for (const TraceRun& run : traces)
       reports.push_back(build_comm_report(run.events));
-      print_comm_run(run, reports.back(), out);
+    if (opt.json) {
+      write_comm_json(opt, traces, reports, out);
+      return kOk;
+    }
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      print_comm_run(traces[i], reports[i], out);
+      print_liveness(traces[i], out);
+      print_wire_model(opt, traces[i], reports[i], out);
     }
     if (traces.size() > 1) print_comm_comparison(traces, reports, out);
     return kOk;

@@ -53,6 +53,12 @@ bool jsonl_open() {
   return s.open;
 }
 
+std::string jsonl_buffer() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.buffer;
+}
+
 bool telemetry_active() { return enabled() && jsonl_open(); }
 
 void emit_cycle(const CycleRecord& rec) {

@@ -36,6 +36,11 @@ bool open_jsonl(const std::string& path);
 void close_jsonl();
 bool jsonl_open();
 
+/// Every line emitted since open_jsonl (the sink's in-memory image of the
+/// file). The flight recorder embeds this in the telemetry shard so a
+/// rank's convergence stream survives even when its sink file does not.
+std::string jsonl_buffer();
+
 /// True when a record emitted now would actually be written.
 bool telemetry_active();
 
@@ -46,6 +51,7 @@ void emit_cycle(const CycleRecord& rec);
 inline bool open_jsonl(const std::string&) { return false; }
 inline void close_jsonl() {}
 inline bool jsonl_open() { return false; }
+inline std::string jsonl_buffer() { return {}; }
 constexpr bool telemetry_active() { return false; }
 inline void emit_cycle(const CycleRecord&) {}
 #endif

@@ -153,6 +153,8 @@ void record_span_event(const char* name, char phase, const SpanArg* args,
   local_buffer().push(e);
 }
 
+std::uint64_t trace_epoch_ns() { return epoch_ns(); }
+
 std::size_t num_trace_events() {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
@@ -214,6 +216,8 @@ void reset_trace() {
 }
 
 #else  // !COLUMBIA_OBS_ENABLED — keep the link surface, record nothing.
+
+std::uint64_t trace_epoch_ns() { return 0; }
 
 std::size_t num_trace_events() { return 0; }
 

@@ -122,6 +122,12 @@ class SpanGuard {
 /// Total events recorded across all thread buffers.
 std::size_t num_trace_events();
 
+/// The recorder epoch: the steady-clock tick (WallTimer::now_ns units) all
+/// exported timestamps are relative to. Pinned at the first of set_enabled
+/// / export / this call — a forked rank pins its own epoch, which is why
+/// telemetry shards record it (obs/shard.hpp) for offline clock alignment.
+std::uint64_t trace_epoch_ns();
+
 /// All recorded events, per-buffer in program order (so each thread's
 /// begin/end events are properly nested), with `tid` filled in.
 std::vector<TraceEvent> trace_snapshot();

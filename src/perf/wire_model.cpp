@@ -1,0 +1,84 @@
+#include "perf/wire_model.hpp"
+
+#include "obs/json.hpp"
+
+namespace columbia::perf {
+
+FabricModel fabric_for_backend(const std::string& backend) {
+  if (backend == "shm") return numalink4();
+  if (backend == "tcp") return infiniband();
+  return shared_memory();  // threads / local / in-process recordings
+}
+
+std::vector<WireAttribution> attribute_wire(const obs::CommReport& report,
+                                            const FabricModel& fabric) {
+  std::vector<WireAttribution> rows;
+  for (const obs::CommGroup& g : report.groups) {
+    if (g.messages == 0) continue;
+    WireAttribution a;
+    a.level = g.level;
+    a.strat = g.strat;
+    a.messages = g.messages;
+    a.bytes = g.bytes;
+    a.mean_bytes = double(g.bytes) / double(g.messages);
+    a.measured_mean_s = g.xfer_s / double(g.messages);
+    a.measured_min_s = g.xfer_min_s;
+    a.measured_Bps = g.xfer_s > 0 ? double(g.bytes) / g.xfer_s : 0;
+    a.model_s = double(fabric.latency_s) +
+                a.mean_bytes / double(fabric.bandwidth_Bps);
+    a.ratio = a.model_s > 0 ? a.measured_mean_s / a.model_s : 0;
+    rows.push_back(a);
+  }
+  return rows;
+}
+
+std::string fabric_model_line(const FabricModel& fabric) {
+  return "fabric model: " + std::string(fabric.name) + " (latency " +
+         Table::num(double(fabric.latency_s) * 1e6, 3) + " us, bandwidth " +
+         Table::num(double(fabric.bandwidth_Bps) / 1e9, 3) + " GB/s)";
+}
+
+Table wire_model_table(const std::vector<WireAttribution>& rows,
+                       const FabricModel& fabric) {
+  (void)fabric;  // callers print fabric_model_line(fabric) above the table
+  Table t({"level", "strategy", "msgs", "mean KB", "measured us", "min us",
+           "MB/s", "model us", "ratio"});
+  for (const WireAttribution& a : rows) {
+    t.add_row({a.level >= 0 ? std::to_string(a.level) : "-",
+               obs::strategy_name(a.strat), std::to_string(a.messages),
+               Table::num(a.mean_bytes / 1e3, 2),
+               Table::num(a.measured_mean_s * 1e6, 3),
+               Table::num(a.measured_min_s * 1e6, 3),
+               Table::num(a.measured_Bps / 1e6, 2),
+               Table::num(a.model_s * 1e6, 3), Table::num(a.ratio, 2)});
+  }
+  return t;
+}
+
+void write_wire_model_json_into(obs::JsonWriter& w,
+                                const std::vector<WireAttribution>& rows,
+                                const FabricModel& fabric) {
+  w.begin_object();
+  w.kv("fabric", fabric.name);
+  w.kv("latency_s", double(fabric.latency_s));
+  w.kv("bandwidth_Bps", double(fabric.bandwidth_Bps));
+  w.key("groups").begin_array();
+  for (const WireAttribution& a : rows) {
+    w.begin_object();
+    w.kv("level", a.level);
+    w.kv("strategy", obs::strategy_name(a.strat));
+    w.kv("messages", a.messages);
+    w.kv("bytes", a.bytes);
+    w.kv("mean_bytes", a.mean_bytes);
+    w.kv("measured_mean_s", a.measured_mean_s);
+    w.kv("measured_min_s", a.measured_min_s);
+    w.kv("measured_Bps", a.measured_Bps);
+    w.kv("model_s", a.model_s);
+    w.kv("ratio", a.ratio);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace columbia::perf

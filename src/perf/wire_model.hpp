@@ -1,0 +1,70 @@
+// Machine-model attribution of measured wire traffic (paper Figs. 16-18).
+//
+// The communication observatory measures, per (level, strategy) exchange
+// group, how long each delivered message actually spent on the wire
+// (post begin -> wait end, clock-aligned across ranks). The analytic
+// Columbia model (perf/columbia.hpp) prices the same message as
+//
+//   t = fabric latency + payload / fabric bandwidth
+//
+// This module joins the two: one row per exchange group with the measured
+// mean/min delivery time against the model prediction for that group's
+// mean message size, over the fabric standing in for the run's transport
+// backend. The ratio column is the attribution — ~1 means the wire
+// behaves like the modeled fabric; >> 1 means the time went somewhere the
+// fabric model does not know about (scheduling, retransmits, overload).
+//
+// Backend -> fabric mapping (documented stand-ins, single-host reality):
+//   threads/local -> shared_memory,  shm -> numalink4,  tcp -> infiniband
+// i.e. the process-separated shm rings play the role of NUMAlink within a
+// box and the socket backend the role of the InfiniBand inter-box story.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/comm_report.hpp"
+#include "perf/columbia.hpp"
+#include "support/table.hpp"
+
+namespace columbia::perf {
+
+/// One (level, strategy) exchange group: measured wire behavior joined
+/// with the fabric-model prediction for the same traffic.
+struct WireAttribution {
+  std::int64_t level = -1;
+  std::int64_t strat = -1;
+  std::uint64_t messages = 0;  // matched post/wait pairs
+  std::uint64_t bytes = 0;     // payload over those pairs
+  double mean_bytes = 0;       // bytes / messages
+  double measured_mean_s = 0;  // mean delivery (post begin -> wait end)
+  double measured_min_s = 0;   // fastest delivery (latency-floor estimate)
+  /// Effective delivered bandwidth: bytes / total measured transfer time.
+  double measured_Bps = 0;
+  double model_s = 0;          // latency + mean_bytes/bandwidth
+  double ratio = 0;            // measured_mean_s / model_s (0 if no model)
+};
+
+/// The fabric standing in for a transport backend name ("threads",
+/// "local", "shm", "tcp"; anything else maps to shared memory).
+FabricModel fabric_for_backend(const std::string& backend);
+
+/// Joins every matched exchange group of the report with `fabric`'s
+/// prediction. Groups with no matched messages are skipped.
+std::vector<WireAttribution> attribute_wire(const obs::CommReport& report,
+                                            const FabricModel& fabric);
+
+/// One-line description of the fabric constants, printed above the table.
+std::string fabric_model_line(const FabricModel& fabric);
+
+/// Figs. 16-18-style measured-vs-model table, one row per exchange group.
+Table wire_model_table(const std::vector<WireAttribution>& rows,
+                       const FabricModel& fabric);
+
+/// Appends the attribution as a JSON array value on an in-progress writer.
+void write_wire_model_json_into(obs::JsonWriter& w,
+                                const std::vector<WireAttribution>& rows,
+                                const FabricModel& fabric);
+
+}  // namespace columbia::perf

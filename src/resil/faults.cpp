@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -141,6 +142,34 @@ FaultSpec parse_fault_spec(const std::string& spec) {
       throw;
     } catch (const std::exception&) {
       fail("bad value in '" + tok + "'");
+    }
+  }
+  return out;
+}
+
+std::string render_fault_spec(const FaultSpec& spec) {
+  if (!spec.any()) return "";
+  std::string out = "seed=" + std::to_string(spec.seed);
+  char buf[64];
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    const double rate = spec.rate[std::size_t(k)];
+    if (rate <= 0) continue;
+    std::snprintf(buf, sizeof(buf), "%.10g", rate);
+    out += ',';
+    out += fault_kind_name(FaultKind(k));
+    out += '=';
+    out += buf;
+    if (FaultKind(k) == FaultKind::MsgDelay) {
+      // The @ suffix is the delay latency for this kind; render it when it
+      // differs from the parser's default so the string round-trips.
+      if (spec.param[std::size_t(k)] != 10) {
+        out += '@';
+        out += std::to_string(spec.param[std::size_t(k)]);
+      }
+    } else if (spec.max_count[std::size_t(k)] !=
+               std::numeric_limits<std::uint64_t>::max()) {
+      out += '@';
+      out += std::to_string(spec.max_count[std::size_t(k)]);
     }
   }
   return out;

@@ -93,6 +93,12 @@ const std::string& fault_grammar_help();
 /// exception message names the offending token AND the full grammar.
 FaultSpec parse_fault_spec(const std::string& spec);
 
+/// Inverse of parse_fault_spec: the spec back in grammar form, suitable
+/// for provenance stamps (telemetry shard headers record the fault mix a
+/// run was launched under). Disarmed specs render as "" ; parsing the
+/// rendered string reproduces the spec.
+std::string render_fault_spec(const FaultSpec& spec);
+
 /// Thrown by injected case-worker crashes (FaultKind::CaseThrow).
 class InjectedFault : public std::runtime_error {
  public:

@@ -12,6 +12,8 @@
 #include <new>
 #include <thread>
 
+#include "core/clock_sync.hpp"
+#include "obs/shard.hpp"
 #include "resil/faults.hpp"
 #include "smp/shm_transport.hpp"
 #include "smp/tcp_transport.hpp"
@@ -81,14 +83,36 @@ class HeartbeatPulse {
   std::thread thread_;
 };
 
+obs::ShardClock to_shard_clock(const core::ClockEstimate& est) {
+  return obs::ShardClock{est.synced, est.offset_ns, est.rtt_ns, est.samples};
+}
+
 [[noreturn]] void child_main(int rank, core::Transport& t,
-                             MemberControl& slot, int heartbeat_ms,
+                             MemberControl& slot,
+                             const ProcessGroupOptions& opts,
                              const ProcessGroup::Body& body) {
-  HeartbeatPulse pulse(slot, heartbeat_ms);
+  HeartbeatPulse pulse(slot, opts.heartbeat_ms);
   t.set_hang_hook([&pulse] { pulse.silence(); });
   t.set_counter_sink([&slot](core::TransportCounter c, std::uint64_t n) {
     slot.counters[std::size_t(c)].fetch_add(n, std::memory_order_relaxed);
   });
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!opts.telemetry_base.empty()) {
+    obs::ShardOptions so;
+    so.path =
+        obs::shard_file_path(opts.telemetry_base, rank, opts.telemetry_round);
+    so.rank = rank;
+    so.ranks = opts.ranks;
+    so.round = opts.telemetry_round;
+    so.backend = group_backend_name(opts.backend);
+    // Render from the injector this child inherited at fork time:
+    // run_recovering strips peer_hang before relaunching, and the shard
+    // must stamp what this round actually ran with.
+    so.fault_spec =
+        resil::render_fault_spec(resil::FaultInjector::global().spec());
+    recorder = std::make_unique<obs::FlightRecorder>(so);
+    recorder->set_clock(to_shard_clock(core::sync_group_clock(t)));
+  }
   int code = ProcessGroup::kExitUncaught;
   try {
     code = body(rank, t);
@@ -96,6 +120,11 @@ class HeartbeatPulse {
     std::fprintf(stderr, "[rank %d] uncaught: %s\n", rank, e.what());
   } catch (...) {
     std::fprintf(stderr, "[rank %d] uncaught non-exception\n", rank);
+  }
+  if (recorder) {
+    // Teardown re-sync bounds clock drift over the run; with a dead peer
+    // it burns its budget and the shard keeps the start estimate.
+    recorder->finalize(to_shard_clock(core::sync_group_clock(t)));
   }
   pulse.silence();
   std::fflush(nullptr);
@@ -140,7 +169,7 @@ GroupResult ProcessGroup::run(const ProcessGroupOptions& opts,
     if (pid == 0) {
       std::unique_ptr<core::Transport> t =
           shm ? shm->endpoint(r) : tcp->endpoint(r);
-      child_main(r, *t, cb->member(r), opts.heartbeat_ms, body);
+      child_main(r, *t, cb->member(r), opts, body);
     }
     pids[std::size_t(r)] = pid;
   }
@@ -221,6 +250,16 @@ GroupResult ProcessGroup::run(const ProcessGroupOptions& opts,
   for (const MemberReport& m : res.members)
     if (!m.exited || m.exit_code != 0) res.ok = false;
 
+  if (!opts.telemetry_base.empty()) {
+    // Gather whatever shards made it to disk — a killed rank's truncated
+    // shard is exactly the artifact the merger is built to accept.
+    for (int r = 0; r < opts.ranks; ++r) {
+      const std::string path =
+          obs::shard_file_path(opts.telemetry_base, r, opts.telemetry_round);
+      if (::access(path.c_str(), F_OK) == 0) res.shards.push_back(path);
+    }
+  }
+
   ControlBlock::unmap(cb, opts.ranks);
   return res;
 }
@@ -240,9 +279,17 @@ GroupResult ProcessGroup::run_recovering(const ProcessGroupOptions& opts,
     inj.configure(spec);
     ++relaunches;
     const core::TransportCounters carried = res.total;
-    res = run(opts, body);
+    std::vector<std::string> shards_carried = std::move(res.shards);
+    // Each relaunch is a new round: its shards get distinct paths and a
+    // distinct round stamp, so the merged timeline keeps rounds apart.
+    ProcessGroupOptions round_opts = opts;
+    round_opts.telemetry_round = opts.telemetry_round + relaunches;
+    res = run(round_opts, body);
     for (int c = 0; c < core::kNumTransportCounters; ++c)
       res.total.v[c] += carried.v[c];
+    shards_carried.insert(shards_carried.end(), res.shards.begin(),
+                          res.shards.end());
+    res.shards = std::move(shards_carried);
   }
   if (relaunches_out != nullptr) *relaunches_out = relaunches;
   return res;

@@ -49,6 +49,16 @@ struct ProcessGroupOptions {
   int wall_timeout_ms = 120000;
   /// Per-pair ring capacity for the Shm backend.
   std::size_t shm_ring_bytes = std::size_t(1) << 20;
+  /// Flight recorder (obs/shard.hpp): when non-empty, every child arms a
+  /// FlightRecorder writing the durable shard
+  /// obs::shard_file_path(telemetry_base, rank, telemetry_round), and the
+  /// group runs the clock-sync handshake (core/clock_sync.hpp) against
+  /// member 0 right after fork and again at teardown, stamping both
+  /// estimates into the shard. Empty = no per-rank telemetry.
+  std::string telemetry_base;
+  /// Launch round stamped into shard headers; run_recovering bumps it on
+  /// every relaunch so merged timelines keep rounds separable.
+  int telemetry_round = 0;
 };
 
 /// One rank's fate, as the parent saw it.
@@ -69,6 +79,10 @@ struct GroupResult {
   std::vector<MemberReport> members;
   /// Sum of all members' transport counters (heartbeats included).
   core::TransportCounters total;
+  /// Telemetry shards found on disk after the run (telemetry-armed runs
+  /// only; a rank killed before its first flush leaves none).
+  /// run_recovering accumulates shards across all rounds.
+  std::vector<std::string> shards;
 
   int first_failure_exit() const;
 };

@@ -16,6 +16,7 @@
 #include "nsu3d/partitioned.hpp"
 #include "nsu3d/solver.hpp"
 #include "obs/obs.hpp"
+#include "obs/shard.hpp"
 #include "resil/faults.hpp"
 #include "smp/pool.hpp"
 
@@ -153,6 +154,39 @@ TEST(ObsDeterminism, Cart3dReportedHistoryThreadInvariant) {
   const auto m = small_sphere_mesh();
   expect_equal(run_cart3d(m, 1, false, true),
                run_cart3d(m, 4, false, true));
+}
+
+// The distributed flight recorder (obs/shard.hpp) must be exactly as
+// invisible as plain tracing: it arms the same span recorder, adds a
+// durable-rewrite autoflush thread, and never touches solver arithmetic.
+// (The forked shm/tcp recorder-on/off story lives in test_flight_recorder;
+// here the in-process threads backend pins the same contract under tsan.)
+
+std::vector<real_t> run_nsu3d_recorded(const mesh::UnstructuredMesh& m,
+                                       int threads) {
+  Guard guard;
+  smp::set_global_threads(threads);
+  obs::ShardOptions so;
+  so.path = testing::TempDir() + "obs_det_shard.jsonl";
+  so.backend = "threads";
+  so.flush_ms = 20;  // keep the autoflush thread busy during the solve
+  obs::FlightRecorder rec(so);
+  euler::FlowConditions fc;
+  fc.mach = 0.75;
+  fc.reynolds = 3e6;
+  nsu3d::Nsu3dOptions o;
+  o.mg_levels = 3;
+  nsu3d::Nsu3dSolver s(m, fc, o);
+  const std::vector<real_t> hist = s.solve(5, 10);
+  obs::ShardClock clock;
+  clock.synced = true;
+  rec.finalize(clock);
+  return hist;
+}
+
+TEST(ObsDeterminism, Nsu3dFlightRecorderOnVsOff) {
+  const auto m = small_wing();
+  expect_equal(run_nsu3d(m, 2, false), run_nsu3d_recorded(m, 2));
 }
 
 // The comm observatory (halo.xchg spans on the partitioned exchange path)
